@@ -1,0 +1,46 @@
+#pragma once
+// Shared helpers for the figure-reproduction benches: machine construction
+// and paper-style table output.  Every bench prints the series the paper
+// plots; EXPERIMENTS.md records the paper-vs-measured comparison.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "runtime/charm.hpp"
+
+namespace bench {
+
+inline sim::MachineConfig machine_config(int npes,
+                                         sim::NetworkParams net = sim::NetworkParams::bluegene_q(),
+                                         int pes_per_chip = 4) {
+  sim::MachineConfig cfg;
+  cfg.npes = npes;
+  cfg.net = net;
+  cfg.pes_per_chip = pes_per_chip;
+  return cfg;
+}
+
+inline void header(const std::string& fig, const std::string& title) {
+  std::printf("\n== %s: %s ==\n", fig.c_str(), title.c_str());
+}
+
+inline void columns(const std::vector<std::string>& names) {
+  for (const auto& n : names) std::printf("%16s", n.c_str());
+  std::printf("\n");
+}
+
+inline void row(const std::vector<double>& values) {
+  for (double v : values) std::printf("%16.6g", v);
+  std::printf("\n");
+}
+
+inline void note(const std::string& s) { std::printf("   %s\n", s.c_str()); }
+
+/// Runs the machine to completion and returns the makespan in virtual seconds.
+inline double run_to_completion(sim::Machine& m) {
+  m.run();
+  return m.max_pe_clock();
+}
+
+}  // namespace bench

@@ -1,0 +1,86 @@
+// Fig 14: LULESH weak scaling on Hopper — native MPI vs AMPI at v=1, AMPI
+// at v=8 (cache win), AMPI v=8 + load balancing, plus non-cubic PE counts.
+//
+// "Native MPI" is AMPI at v=1 with migratability off (how the paper frames
+// the equal-footing comparison; DESIGN.md §1).  Virtualization v means the
+// same total problem split into v x more (smaller) rank subdomains per PE:
+// the per-rank working set shrinks below the modeled L2+L3 capacity and the
+// kernels speed up — the paper's 2.4x.
+
+#include "bench_common.hpp"
+#include "miniapps/lulesh/lulesh.hpp"
+
+namespace {
+
+using namespace charm;
+
+struct Variant {
+  const char* name;
+  int v;         ///< virtualization ratio (ranks per PE)
+  bool lb;
+};
+
+double run_weak(int npes, int v, bool lb, int* nranks_out = nullptr) {
+  sim::Machine m(bench::machine_config(npes, sim::NetworkParams::cray_gemini()));
+  Runtime rt(m);
+
+  // Weak scaling: total elements proportional to PEs; v ranks per PE.
+  // Per-PE working set ~ 24^3 elements * 1200 B ~ 16.6 MB vs 8 MB cache.
+  const int elems_per_pe_dim = 24;
+  int ranks_dim = 1;
+  while (ranks_dim * ranks_dim * ranks_dim < npes * v) ++ranks_dim;
+  const int nranks = ranks_dim * ranks_dim * ranks_dim;
+  if (nranks_out) *nranks_out = nranks;
+  const int elems_dim = std::max(
+      2, static_cast<int>(elems_per_pe_dim /
+                          std::cbrt(static_cast<double>(nranks) / npes)));
+
+  lulesh::Config cfg;
+  cfg.ranks_per_dim = ranks_dim;
+  cfg.elems_per_dim = elems_dim;
+  cfg.iterations = 10;
+  cfg.migrate_every = lb ? 3 : 0;
+  cfg.region_factor = 2.5;
+  ampi::Options opts;
+  opts.cache_bytes = 8e6;
+
+  if (lb) {
+    rt.lb().set_strategy(lb::make_greedy());
+    rt.lb().set_period(3);
+  }
+  lulesh::Stats out;
+  bool done = false;
+  lulesh::run(rt, cfg, opts, [&](const lulesh::Stats& s) {
+    out = s;
+    done = true;
+    rt.exit();
+  });
+  m.run();
+  if (!done) std::printf("   WARNING: LULESH run did not complete (P=%d v=%d)\n", npes, v);
+  return out.time_per_iter;
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Figure 14", "LULESH weak scaling: MPI vs AMPI virtualization (s/iteration)");
+  bench::columns({"PEs", "MPI(v=1)", "AMPI(v=1)", "AMPI(v=8)", "AMPI(v=8)+LB"});
+  for (int p : {8, 27, 64}) {
+    // "Native MPI": AMPI ranks that never call MPI_Migrate (v=1, no LB).
+    const double mpi = run_weak(p, 1, false);
+    const double ampi_v1 = run_weak(p, 1, false);
+    const double ampi_v8 = run_weak(p, 8, false);
+    const double ampi_v8_lb = run_weak(p, 8, true);
+    bench::row({static_cast<double>(p), mpi, ampi_v1, ampi_v8, ampi_v8_lb});
+  }
+  bench::header("Figure 14 (non-cubic)", "virtualization frees LULESH from cubic PE counts");
+  bench::columns({"PEs", "AMPI(v~8)"});
+  for (int p : {10, 20}) {
+    int nranks = 0;
+    const double t = run_weak(p, 8, false, &nranks);
+    std::printf("%16d%16.6g   (%d ranks on %d PEs)\n", p, t, nranks, p);
+  }
+  bench::note("paper shape: v=8 ~2.4x faster than v=1 (working set fits cache); +LB removes");
+  bench::note("the region imbalance; non-cubic counts run with no major overhead");
+  return 0;
+}

@@ -1,0 +1,142 @@
+// Micro-benchmarks (google-benchmark) for the runtime substrate itself:
+// PUP throughput, emulator event rate, point-send + location-lookup paths,
+// reduction latency growth with PE count, and TRAM aggregation ablation.
+//
+// These measure HOST performance of the emulator and runtime data paths
+// (events/sec), plus virtual-time ablations (reduction latency, TRAM factor).
+
+#include <benchmark/benchmark.h>
+
+#include "runtime/charm.hpp"
+#include "tram/tram.hpp"
+
+namespace {
+
+using namespace charm;
+
+struct Payload {
+  std::vector<double> values;
+  std::map<std::string, int> table;
+  void pup(pup::Er& p) {
+    p | values;
+    p | table;
+  }
+};
+
+void BM_PupRoundTrip(benchmark::State& state) {
+  Payload in;
+  in.values.assign(static_cast<std::size_t>(state.range(0)), 3.14);
+  in.table = {{"a", 1}, {"b", 2}};
+  for (auto _ : state) {
+    auto bytes = pup::to_bytes(in);
+    Payload out;
+    pup::from_bytes(bytes, out);
+    benchmark::DoNotOptimize(out.values.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(state.range(0)) * 8);
+}
+BENCHMARK(BM_PupRoundTrip)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_MachineEventRate(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Machine m(sim::MachineConfig{8, {}, 4});
+    state.ResumeTiming();
+    for (int i = 0; i < 1000; ++i) {
+      m.post(i % 8, 0.0, [&m, i] {
+        if (i % 2 == 0) m.send((i + 3) % 8, 64, 0, [] {});
+      });
+    }
+    m.run();
+    benchmark::DoNotOptimize(m.events_processed());
+  }
+  state.SetItemsProcessed(state.iterations() * 1500);
+}
+BENCHMARK(BM_MachineEventRate);
+
+struct Msg {
+  int v = 0;
+  void pup(pup::Er& p) { p | v; }
+};
+
+class Sink : public ArrayElement<Sink, std::int32_t> {
+ public:
+  int n = 0;
+  void take(const Msg&) { ++n; }
+};
+
+void BM_PointSendDelivery(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Machine m(sim::MachineConfig{8, {}, 4});
+    Runtime rt(m);
+    auto arr = ArrayProxy<Sink>::create(rt);
+    for (int i = 0; i < 64; ++i) arr.seed(i, i % 8);
+    state.ResumeTiming();
+    rt.on_pe(0, [&] {
+      for (int i = 0; i < 1000; ++i) arr[i % 64].send<&Sink::take>(Msg{i});
+    });
+    m.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_PointSendDelivery);
+
+class Contrib : public ArrayElement<Contrib, std::int32_t> {
+ public:
+  void go() { contribute(1.0, ReduceOp::kSum, cb); }
+  static Callback cb;
+};
+Callback Contrib::cb;
+
+void BM_ReductionVirtualLatency(benchmark::State& state) {
+  // Reports the VIRTUAL latency of one reduction at a given PE count; real
+  // time measures the emulator overhead.
+  const int npes = static_cast<int>(state.range(0));
+  double virtual_latency = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Machine m(sim::MachineConfig{npes, {}, 4});
+    Runtime rt(m);
+    auto arr = ArrayProxy<Contrib>::create(rt);
+    for (int i = 0; i < npes; ++i) arr.seed(i, i);
+    double t_done = 0;
+    Contrib::cb = Callback::to_function([&](ReductionResult&&) { t_done = charm::now(); });
+    state.ResumeTiming();
+    rt.on_pe(0, [&] { arr.broadcast<&Contrib::go>(); });
+    m.run();
+    virtual_latency = t_done;
+  }
+  state.counters["virtual_us"] = virtual_latency * 1e6;
+}
+BENCHMARK(BM_ReductionVirtualLatency)->Arg(8)->Arg(64)->Arg(512)->Arg(4096);
+
+void BM_TramAggregationFactor(benchmark::State& state) {
+  const std::size_t buffer = static_cast<std::size_t>(state.range(0));
+  double aggregation = 0;
+  double virtual_time = 0;
+  for (auto _ : state) {
+    sim::Machine m(sim::MachineConfig{27, {}, 4});
+    Runtime rt(m);
+    auto arr = ArrayProxy<Sink>::create(rt);
+    for (int i = 0; i < 27; ++i) arr.seed(i, i);
+    tram::Stream<&Sink::take> stream(rt, arr, {buffer, 8});
+    rt.on_pe(0, [&] {
+      sim::Rng rng(1);
+      for (int k = 0; k < 4000; ++k)
+        stream.send(static_cast<std::int32_t>(rng.next_below(27)), Msg{k});
+      stream.flush_all();
+    });
+    m.run();
+    aggregation = stream.core().aggregation();
+    virtual_time = m.max_pe_clock();
+  }
+  state.counters["items_per_batch"] = aggregation;
+  state.counters["virtual_ms"] = virtual_time * 1e3;
+}
+BENCHMARK(BM_TramAggregationFactor)->Arg(1)->Arg(16)->Arg(64)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Runs every figure-reproduction bench plus the micro-benchmarks, mirroring
+#   for b in build/bench/*; do $b; done
+# but skipping CMake bookkeeping entries.  Output goes to stdout; tee it into
+# bench_output.txt for the EXPERIMENTS.md record.
+set -u
+cd "$(dirname "$0")/.."
+for b in build/bench/fig* build/bench/ablation_* build/bench/micro_*; do
+  [ -x "$b" ] || continue
+  echo "### $b"
+  "$b" || echo "### $b FAILED (exit $?)"
+done

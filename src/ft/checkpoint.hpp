@@ -1,0 +1,36 @@
+#pragma once
+// Disk checkpoint/restart (§III-B).
+//
+// Checkpoints are chare-based: each element is PUPed with its index and
+// collection, so a run can restart on ANY number of PEs — elements are simply
+// re-placed under the new home mapping.  The restart program must create its
+// collections in the same order as the checkpointing program (collection ids
+// are positional, exactly like Charm++'s registration order requirement).
+//
+// The file is written host-side; the *cost* (per-PE pack + parallel file
+// write at disk_bw) is charged in virtual time.
+
+#include <string>
+
+#include "runtime/callback.hpp"
+#include "runtime/runtime.hpp"
+
+namespace charm::ft {
+
+struct DiskParams {
+  double disk_bw = 1.0e9;        ///< per-PE file-write bandwidth (B/s)
+  double open_overhead = 0.5e-3; ///< per-PE file open/close cost (s)
+};
+
+/// Serializes every checkpointable collection to `path`; invokes `done` when
+/// the modeled parallel write completes.  Call from a driver handler while the
+/// application is at a step boundary.
+void checkpoint_to_file(Runtime& rt, const std::string& path, Callback done,
+                        DiskParams params = {});
+
+/// Repopulates previously created (empty) collections from `path`, placing
+/// each element at its home PE under the *current* PE count.  Driver-side;
+/// returns the number of elements restored.
+std::size_t restart_from_file(Runtime& rt, const std::string& path);
+
+}  // namespace charm::ft

@@ -1,0 +1,143 @@
+#include "ft/mem_checkpoint.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+namespace charm::ft {
+
+MemCheckpointer::MemCheckpointer(Runtime& rt, MemCkptParams params)
+    : rt_(rt),
+      params_(params),
+      local_(static_cast<std::size_t>(rt.npes())),
+      buddy_(static_cast<std::size_t>(rt.npes())) {}
+
+void MemCheckpointer::checkpoint(Callback done) {
+  const int P = rt_.active_pes();
+  for (auto& v : local_) v.clear();
+  for (auto& v : buddy_) v.clear();
+  total_bytes_ = 0;
+  ++checkpoints_;
+
+  auto remaining = std::make_shared<int>(P);
+  for (int pe = 0; pe < P; ++pe) {
+    rt_.send_control(pe, 16, [this, pe, P, remaining, done]() {
+      // Pack every local element of checkpointable collections.
+      double bytes = 0;
+      for (std::size_t ci = 0; ci < rt_.collection_count(); ++ci) {
+        Collection& c = rt_.collection(static_cast<CollectionId>(ci));
+        if (!c.checkpointable) continue;
+        for (auto& [ix, obj] : c.local(pe).elems) {
+          Copy copy;
+          copy.col = c.id;
+          copy.idx = ix;
+          copy.pe = pe;
+          pup::Packer pk(copy.bytes);
+          obj->pup(pk);
+          bytes += static_cast<double>(copy.bytes.size());
+          local_[static_cast<std::size_t>(pe)].push_back(copy);
+        }
+      }
+      total_bytes_ += static_cast<std::uint64_t>(bytes);
+      rt_.charge(bytes / params_.pack_bw);  // local copy
+
+      // Ship the second copy to the buddy (real message cost).
+      const int buddy = (pe + 1) % P;
+      rt_.send_control(buddy, static_cast<std::size_t>(bytes),
+                       [this, pe, buddy, bytes, remaining, done]() {
+                         buddy_[static_cast<std::size_t>(buddy)] =
+                             local_[static_cast<std::size_t>(pe)];
+                         rt_.charge(bytes / params_.pack_bw);  // copy-in
+                         if (--*remaining == 0) {
+                           rt_.after(rt_.my_pe(), rt_.tree_wave_latency(),
+                                     [this, done]() { done.invoke(rt_, ReductionResult{}); });
+                         }
+                       });
+    });
+  }
+}
+
+void MemCheckpointer::fail_and_recover(int victim, Callback done) {
+  if (checkpoints_ == 0)
+    throw std::logic_error("fail_and_recover: no checkpoint taken yet");
+  failed_pe_ = victim;
+  rt_.set_pe_dead(victim, true);
+  // The victim's in-memory state (its local copies and any buddy copies it
+  // held for its predecessor) is lost with the process.
+  const int P = rt_.active_pes();
+  const int pred = (victim - 1 + P) % P;
+  (void)pred;
+  local_[static_cast<std::size_t>(victim)].clear();
+  // Note: buddy copies held ON the victim are also lost; the protocol
+  // tolerates one failure between checkpoints, as in the paper.
+  buddy_[static_cast<std::size_t>(victim)].clear();
+
+  rt_.after(0, params_.detect_delay, [this, victim, done]() {
+    // Replacement process takes over the victim's slot.
+    rt_.set_pe_dead(victim, false);
+    restore_all(done);
+  });
+}
+
+void MemCheckpointer::restore_all(Callback done) {
+  const int P = rt_.active_pes();
+  const int victim = failed_pe_;
+  failed_pe_ = kInvalidPe;
+
+  // Phase 1: every PE discards its live elements (rollback).
+  for (std::size_t ci = 0; ci < rt_.collection_count(); ++ci) {
+    Collection& c = rt_.collection(static_cast<CollectionId>(ci));
+    if (!c.checkpointable) continue;
+    rt_.clear_reductions(c.id);
+    for (int pe = 0; pe < rt_.npes(); ++pe) {
+      std::vector<ObjIndex> ids;
+      ids.reserve(c.local(pe).elems.size());
+      for (auto& [ix, obj] : c.local(pe).elems) ids.push_back(ix);
+      for (const ObjIndex& ix : ids) rt_.extract_local(c.id, ix, pe);
+    }
+  }
+
+  // Phase 2: restore.  Live PEs restore from their local copies; the
+  // replacement gets the failed PE's copies from the buddy.
+  auto remaining = std::make_shared<int>(P);
+  auto finish = [this, remaining, done]() {
+    if (--*remaining == 0) {
+      rt_.rebuild_location_tables();
+      rt_.after(rt_.my_pe(), params_.barrier_count * 2.0 * rt_.tree_wave_latency(),
+                [this, done]() { done.invoke(rt_, ReductionResult{}); });
+    }
+  };
+
+  for (int pe = 0; pe < P; ++pe) {
+    const bool is_victim = pe == victim;
+    const int source_store = is_victim ? (victim + 1) % P : pe;
+    const std::vector<Copy>* store =
+        is_victim ? &buddy_[static_cast<std::size_t>(source_store)]
+                  : &local_[static_cast<std::size_t>(pe)];
+    double bytes = 0;
+    for (const Copy& copy : *store) bytes += static_cast<double>(copy.bytes.size());
+
+    auto restore_here = [this, pe, store, bytes, finish]() {
+      rt_.charge(bytes / params_.pack_bw);  // unpack
+      for (const Copy& copy : *store) {
+        Collection& c = rt_.collection(copy.col);
+        const ChareTypeInfo& info = Registry::instance().type(c.type);
+        std::unique_ptr<ArrayElementBase> obj(info.create_default());
+        pup::Unpacker u(copy.bytes);
+        obj->pup(u);
+        rt_.seed_element(copy.col, copy.idx, std::move(obj), pe);
+      }
+      finish();
+    };
+
+    if (is_victim) {
+      // Buddy ships the copies across the network first.
+      rt_.send_control(source_store, 16, [this, pe, bytes, restore_here]() {
+        rt_.send_control(pe, static_cast<std::size_t>(bytes), restore_here);
+      });
+    } else {
+      rt_.send_control(pe, 16, restore_here);
+    }
+  }
+}
+
+}  // namespace charm::ft

@@ -1,0 +1,63 @@
+#pragma once
+// Double in-memory checkpoint and restart (§III-B; Zheng, Shi & Kale,
+// FTC-Charm++, Cluster'04).
+//
+// CkStartMemCheckpoint: each PE PUPs its chares into its own memory AND into
+// a buddy PE's memory.  On a process failure, the buddy's copies restore the
+// failed PE's chares onto the replacement, and every chare rolls back to the
+// last checkpoint; the application then continues.
+//
+// Failure injection discards the victim PE's chares and drops its queued
+// messages; the same PE slot then plays the role of the replacement process
+// (DESIGN.md §1).
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/callback.hpp"
+#include "runtime/runtime.hpp"
+
+namespace charm::ft {
+
+struct MemCkptParams {
+  double pack_bw = 6.0e9;        ///< local PUP/copy bandwidth (B/s)
+  double detect_delay = 10e-3;   ///< failure detection time before recovery (s)
+  double barrier_count = 3.0;    ///< restart barriers (paper: "several")
+};
+
+class MemCheckpointer {
+ public:
+  explicit MemCheckpointer(Runtime& rt, MemCkptParams params = {});
+
+  /// CkStartMemCheckpoint(callback).
+  void checkpoint(Callback done);
+
+  /// Kill PE `victim`, run the recovery protocol, roll every chare back to
+  /// the last checkpoint, then invoke `done`.
+  void fail_and_recover(int victim, Callback done);
+
+  std::uint64_t checkpoint_bytes() const { return total_bytes_; }
+  int checkpoints_taken() const { return checkpoints_; }
+
+ private:
+  struct Copy {
+    CollectionId col = -1;
+    ObjIndex idx{};
+    int pe = 0;  ///< owner PE at checkpoint time
+    std::vector<std::byte> bytes;
+  };
+
+  void restore_all(Callback done);
+
+  Runtime& rt_;
+  MemCkptParams params_;
+  // local_[p]: copies of p's elements held in p's memory.
+  // buddy_[b]: copies of ((b-1+P)%P)'s elements held in b's memory.
+  std::vector<std::vector<Copy>> local_;
+  std::vector<std::vector<Copy>> buddy_;
+  std::uint64_t total_bytes_ = 0;
+  int checkpoints_ = 0;
+  int failed_pe_ = kInvalidPe;
+};
+
+}  // namespace charm::ft

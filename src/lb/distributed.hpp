@@ -1,0 +1,29 @@
+#pragma once
+// Grapevine-style distributed load balancing decisions (§IV-A-2 uses a
+// distributed strategy on AMR at 128K PEs; see Menon & Kale, SC'13).
+//
+// Each overloaded PE knows only the global average (one allreduce) and probes
+// a few random PEs; transfers flow from overloaded PEs to accepting
+// underloaded ones.  The decision algorithm is computed exactly; the manager
+// models the allreduce latency and the probe message traffic.
+
+#include <cstdint>
+
+#include "lb/strategy.hpp"
+
+namespace charm::lb {
+
+struct GossipParams {
+  double overload_tol = 1.03;  ///< overloaded when load > avg * tol
+  int probes_per_pe = 4;       ///< random targets each overloaded PE probes
+};
+
+struct GossipResult {
+  std::vector<Migration> migrations;
+  int probes = 0;  ///< probe messages issued (for traffic modeling)
+};
+
+GossipResult gossip_assign(const Stats& stats, std::uint64_t seed,
+                           const GossipParams& params = {});
+
+}  // namespace charm::lb

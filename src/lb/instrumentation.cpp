@@ -1,0 +1,33 @@
+// Instrumentation helpers shared by the LB framework and benches: per-PE
+// completion-time summaries from the automatic per-chare load measurements.
+
+#include "lb/instrumentation.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "runtime/runtime.hpp"
+
+namespace charm::lb {
+
+PeLoadSummary summarize_pe_loads(Runtime& rt, const std::vector<CollectionId>& cols) {
+  PeLoadSummary s;
+  s.per_pe.assign(static_cast<std::size_t>(rt.active_pes()), 0.0);
+  for (CollectionId col : cols) {
+    Collection& c = rt.collection(col);
+    for (int pe = 0; pe < rt.npes(); ++pe) {
+      for (auto& [ix, obj] : c.local(pe).elems) {
+        if (pe < rt.active_pes())
+          s.per_pe[static_cast<std::size_t>(pe)] += obj->measured_load();
+      }
+    }
+  }
+  if (!s.per_pe.empty()) {
+    s.max = *std::max_element(s.per_pe.begin(), s.per_pe.end());
+    s.avg = std::accumulate(s.per_pe.begin(), s.per_pe.end(), 0.0) /
+            static_cast<double>(s.per_pe.size());
+  }
+  return s;
+}
+
+}  // namespace charm::lb

@@ -1,0 +1,26 @@
+#pragma once
+// Per-PE load summaries built from the runtime's automatic per-chare
+// instrumentation (§III-A: the RTS records each unit's load in a distributed
+// database; strategies and MetaLB consume it).
+
+#include <vector>
+
+#include "runtime/types.hpp"
+
+namespace charm {
+class Runtime;
+}
+
+namespace charm::lb {
+
+struct PeLoadSummary {
+  std::vector<double> per_pe;  ///< accumulated measured load per active PE
+  double max = 0;
+  double avg = 0;
+
+  double imbalance() const { return avg > 0 ? max / avg : 1.0; }
+};
+
+PeLoadSummary summarize_pe_loads(Runtime& rt, const std::vector<CollectionId>& cols);
+
+}  // namespace charm::lb

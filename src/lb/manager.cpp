@@ -1,0 +1,223 @@
+#include "lb/manager.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <stdexcept>
+
+#include "lb/distributed.hpp"
+#include "runtime/runtime.hpp"
+#include "sim/rng.hpp"
+
+namespace charm::lb {
+
+Manager::Manager(Runtime& rt) : rt_(rt) {}
+Manager::~Manager() = default;
+
+void Manager::register_collection(CollectionId col) { cols_.push_back(col); }
+
+void Manager::set_strategy(std::unique_ptr<Strategy> s) { strategy_ = std::move(s); }
+
+void Manager::request_reconfig(int new_active_pes, double restart_delay, Callback done) {
+  reconfig_pending_ = true;
+  reconfig_target_ = new_active_pes;
+  reconfig_delay_ = restart_delay;
+  reconfig_done_ = std::move(done);
+}
+
+std::int64_t Manager::registered_total() const {
+  std::int64_t n = 0;
+  for (CollectionId c : cols_) n += rt_.collection(c).total_elements;
+  return n;
+}
+
+void Manager::element_sync(ArrayElementBase& elem) {
+  if (phase_ != Phase::kCollecting)
+    throw std::logic_error("at_sync called while an LB round is in progress");
+  // Snapshot-and-reset at the sync point: work done after this instant (the
+  // resume broadcast can race other elements' next-step messages) belongs to
+  // the next round.
+  elem.lb_round_load_ = elem.lb_load_;
+  elem.lb_load_ = 0;
+  ++synced_;
+  if (synced_ >= registered_total()) round_complete();
+}
+
+Stats Manager::collect_stats(int target_pes) const {
+  Stats s;
+  s.npes = target_pes;
+  s.pe_speed.resize(static_cast<std::size_t>(rt_.npes()), 1.0);
+  for (int pe = 0; pe < rt_.npes(); ++pe)
+    s.pe_speed[static_cast<std::size_t>(pe)] = rt_.machine().pe(pe).freq();
+  for (CollectionId col : cols_) {
+    Collection& c = rt_.collection(col);
+    for (int pe = 0; pe < rt_.npes(); ++pe) {
+      for (auto& [ix, obj] : c.local(pe).elems) {
+        ChareInfo info;
+        info.col = col;
+        info.idx = ix;
+        info.pe = pe;
+        // Measured load is in virtual seconds on the source PE; normalize
+        // back to work units so strategies can predict times on other PEs.
+        info.work = obj->lb_round_load_ * s.pe_speed[static_cast<std::size_t>(pe)];
+        info.migratable = obj->migratable_ && c.migratable;
+        info.coords = obj->lb_coords();
+        s.chares.push_back(info);
+      }
+    }
+  }
+  // Deterministic order regardless of hash-map iteration details.
+  std::sort(s.chares.begin(), s.chares.end(), [](const ChareInfo& a, const ChareInfo& b) {
+    if (a.col != b.col) return a.col < b.col;
+    if (a.idx.a != b.idx.a) return a.idx.a < b.idx.a;
+    return a.idx.b < b.idx.b;
+  });
+  return s;
+}
+
+void Manager::round_complete() {
+  phase_ = Phase::kBalancing;
+  synced_ = 0;
+  ++round_;
+  round_started_ = rt_.now();
+
+  // Round statistics (bookkeeping only; gather costs are modeled when a
+  // strategy actually runs).
+  RoundInfo info;
+  info.round = round_;
+  {
+    std::vector<double> done(static_cast<std::size_t>(rt_.npes()), 0.0);
+    double total_work = 0;
+    for (CollectionId col : cols_) {
+      Collection& c = rt_.collection(col);
+      for (int pe = 0; pe < rt_.npes(); ++pe)
+        for (auto& [ix, obj] : c.local(pe).elems) {
+          done[static_cast<std::size_t>(pe)] += obj->lb_round_load_;
+          total_work += obj->lb_round_load_ * rt_.machine().pe(pe).freq();
+        }
+    }
+    const int act = rt_.active_pes();
+    info.max_load = *std::max_element(done.begin(), done.begin() + act);
+    info.avg_load = std::accumulate(done.begin(), done.begin() + act, 0.0) / act;
+    info.avg_work = total_work / act;
+  }
+
+  const bool do_reconfig = reconfig_pending_;
+  bool do_lb = forced_ || (period_ > 0 && round_ % period_ == 0);
+  if (!do_lb && advisor_ && !do_reconfig) do_lb = advisor_(history_, info);
+  forced_ = false;
+
+  pending_ = info;
+
+  if (do_reconfig) {
+    reconfig_pending_ = false;
+    pending_.did_lb = true;
+    ++lb_invocations_;
+    rt_.set_active_pes(reconfig_target_);
+    rt_.rebuild_location_tables();
+    run_central(reconfig_target_);
+  } else if (do_lb) {
+    pending_.did_lb = true;
+    ++lb_invocations_;
+    if (distributed_) {
+      run_distributed();
+    } else {
+      run_central(rt_.active_pes());
+    }
+  } else {
+    resume_all(rt_.tree_wave_latency());  // barrier release only
+  }
+}
+
+void Manager::run_central(int target_pes) {
+  Stats stats = collect_stats(target_pes);
+  const auto& net = rt_.machine().network().params();
+  const double gather_bytes = static_cast<double>(stats.chares.size()) * stats_bytes_per_chare;
+  const double gather_delay = rt_.tree_wave_latency() + gather_bytes / net.bandwidth;
+
+  rt_.after(0, gather_delay, [this, stats = std::move(stats)]() {
+    rt_.charge(strategy_base_cost +
+               strategy_cost_per_chare * static_cast<double>(stats.chares.size()));
+    std::unique_ptr<Strategy> fallback;
+    Strategy* strat = strategy_.get();
+    if (strat == nullptr) {
+      fallback = make_greedy();
+      strat = fallback.get();
+    }
+    std::vector<Migration> migs = strat->assign(stats);
+    migs.erase(std::remove_if(migs.begin(), migs.end(),
+                              [](const Migration& m) { return m.from == m.to; }),
+               migs.end());
+    begin_migrations(migs);
+  });
+}
+
+void Manager::run_distributed() {
+  Stats stats = collect_stats(rt_.active_pes());
+  // One allreduce gives every PE the average load; decisions are then local.
+  const double allreduce_delay = 2.0 * rt_.tree_wave_latency();
+  rt_.after(0, allreduce_delay, [this, stats = std::move(stats)]() {
+    rt_.charge(strategy_base_cost);
+    GossipResult g = gossip_assign(stats, sim::derive_seed(dist_seed_,
+                                                           static_cast<std::uint64_t>(round_)));
+    // Model the probe / reply traffic.
+    sim::Rng traffic(sim::derive_seed(dist_seed_, static_cast<std::uint64_t>(round_), 7));
+    for (int i = 0; i < g.probes; ++i) {
+      const int dst =
+          static_cast<int>(traffic.next_below(static_cast<std::uint64_t>(rt_.active_pes())));
+      rt_.send_control(dst, 16, []() {});
+    }
+    begin_migrations(g.migrations);
+  });
+}
+
+void Manager::begin_migrations(const std::vector<Migration>& migs) {
+  pending_.migrations = static_cast<int>(migs.size());
+  if (migs.empty()) {
+    resume_all(0);
+    return;
+  }
+  migrations_expected_ = static_cast<std::int64_t>(migs.size());
+  migrations_arrived_ = 0;
+  migrations_dispatched_ = true;
+  for (const Migration& m : migs) {
+    rt_.send_control(m.from, 32,
+                     [this, m]() { rt_.perform_migration(m.col, m.idx, m.to); });
+  }
+}
+
+void Manager::note_migration_arrival() {
+  if (!migrations_dispatched_) return;
+  ++migrations_arrived_;
+  if (migrations_arrived_ >= migrations_expected_) {
+    migrations_dispatched_ = false;
+    resume_all(0);
+  }
+}
+
+void Manager::resume_all(double extra_delay) {
+  const Callback done = reconfig_done_;
+  reconfig_done_ = Callback();
+  const double reconfig_extra = pending_.did_lb && reconfig_delay_ > 0 ? reconfig_delay_ : 0;
+  reconfig_delay_ = 0;
+
+  auto issue = [this, done]() {
+    pending_.lb_cost = rt_.now() - round_started_;
+    pending_.completed_at = rt_.now();
+    history_.push_back(pending_);
+    phase_ = Phase::kCollecting;
+    for (CollectionId col : cols_) {
+      rt_.broadcast_apply(col, [](ArrayElementBase& e) { e.resume_from_sync(); });
+    }
+    if (done.valid()) done.invoke(rt_, ReductionResult{});
+  };
+
+  const double delay = extra_delay + reconfig_extra;
+  if (delay > 0) {
+    rt_.after(0, delay, issue);
+  } else {
+    issue();
+  }
+}
+
+}  // namespace charm::lb

@@ -1,0 +1,104 @@
+// OrbLB: orthogonal recursive bisection over chare spatial coordinates
+// (§IV-C-3: Barnes-Hut balances TreePieces with ORB).  The chare set is
+// recursively split along the widest coordinate dimension at the weighted
+// median, with the PE range split proportionally to aggregate PE speed.
+
+#include <algorithm>
+#include <numeric>
+
+#include "lb/strategy.hpp"
+
+namespace charm::lb {
+
+namespace {
+
+class OrbLB final : public Strategy {
+ public:
+  std::string name() const override { return "OrbLB"; }
+
+  std::vector<Migration> assign(const Stats& s) override {
+    stats_ = &s;
+    target_.assign(s.chares.size(), 0);
+    std::vector<std::size_t> ids;
+    for (std::size_t i = 0; i < s.chares.size(); ++i) {
+      if (s.chares[i].migratable)
+        ids.push_back(i);
+      else
+        target_[i] = s.chares[i].pe;
+    }
+    bisect(ids, 0, s.npes);
+    return collect();
+  }
+
+ private:
+  void bisect(std::vector<std::size_t>& ids, int pe_lo, int pe_hi) {
+    const Stats& s = *stats_;
+    if (pe_hi - pe_lo <= 1 || ids.empty()) {
+      for (std::size_t i : ids) target_[i] = pe_lo;
+      return;
+    }
+
+    // Widest dimension of the bounding box.
+    std::array<double, 3> lo{1e300, 1e300, 1e300}, hi{-1e300, -1e300, -1e300};
+    for (std::size_t i : ids) {
+      for (int d = 0; d < 3; ++d) {
+        lo[static_cast<std::size_t>(d)] =
+            std::min(lo[static_cast<std::size_t>(d)], s.chares[i].coords[static_cast<std::size_t>(d)]);
+        hi[static_cast<std::size_t>(d)] =
+            std::max(hi[static_cast<std::size_t>(d)], s.chares[i].coords[static_cast<std::size_t>(d)]);
+      }
+    }
+    int dim = 0;
+    for (int d = 1; d < 3; ++d)
+      if (hi[static_cast<std::size_t>(d)] - lo[static_cast<std::size_t>(d)] >
+          hi[static_cast<std::size_t>(dim)] - lo[static_cast<std::size_t>(dim)])
+        dim = d;
+
+    std::sort(ids.begin(), ids.end(), [&](std::size_t a, std::size_t b) {
+      const double ca = s.chares[a].coords[static_cast<std::size_t>(dim)];
+      const double cb = s.chares[b].coords[static_cast<std::size_t>(dim)];
+      if (ca != cb) return ca < cb;
+      return a < b;
+    });
+
+    // Split PEs by cumulative speed, chares by cumulative work at the same ratio.
+    const int pe_mid = pe_lo + (pe_hi - pe_lo) / 2;
+    double speed_left = 0, speed_total = 0;
+    for (int pe = pe_lo; pe < pe_hi; ++pe) {
+      speed_total += s.pe_speed[static_cast<std::size_t>(pe)];
+      if (pe < pe_mid) speed_left += s.pe_speed[static_cast<std::size_t>(pe)];
+    }
+    double work_total = 0;
+    for (std::size_t i : ids) work_total += s.chares[i].work;
+    const double want_left = work_total * (speed_left / speed_total);
+
+    double acc = 0;
+    std::size_t split = 0;
+    while (split < ids.size() && acc + s.chares[ids[split]].work / 2 < want_left)
+      acc += s.chares[ids[split++]].work;
+    split = std::min(std::max<std::size_t>(split, 1), ids.size() - 1);
+
+    std::vector<std::size_t> left(ids.begin(), ids.begin() + static_cast<std::ptrdiff_t>(split));
+    std::vector<std::size_t> right(ids.begin() + static_cast<std::ptrdiff_t>(split), ids.end());
+    bisect(left, pe_lo, pe_mid);
+    bisect(right, pe_mid, pe_hi);
+  }
+
+  std::vector<Migration> collect() const {
+    const Stats& s = *stats_;
+    std::vector<Migration> out;
+    for (std::size_t i = 0; i < s.chares.size(); ++i)
+      if (s.chares[i].migratable && target_[i] != s.chares[i].pe)
+        out.push_back(Migration{s.chares[i].col, s.chares[i].idx, s.chares[i].pe, target_[i]});
+    return out;
+  }
+
+  const Stats* stats_ = nullptr;
+  std::vector<int> target_;
+};
+
+}  // namespace
+
+std::unique_ptr<Strategy> make_orb() { return std::make_unique<OrbLB>(); }
+
+}  // namespace charm::lb

@@ -1,0 +1,292 @@
+// Centralized load balancing strategies: GreedyLB, RefineLB, HybridLB, plus
+// RotateLB/RandomLB for testing.  All strategies are speed-aware: predicted
+// completion of PE p is sum(work)/speed[p], so they remain correct under DVFS
+// and heterogeneous clouds.
+
+#include "lb/strategy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numeric>
+#include <queue>
+#include <set>
+
+#include "sim/rng.hpp"
+
+namespace charm::lb {
+
+namespace {
+
+std::vector<std::size_t> migratable_by_desc_work(const Stats& s) {
+  std::vector<std::size_t> ids;
+  ids.reserve(s.chares.size());
+  for (std::size_t i = 0; i < s.chares.size(); ++i)
+    if (s.chares[i].migratable) ids.push_back(i);
+  std::sort(ids.begin(), ids.end(), [&](std::size_t a, std::size_t b) {
+    if (s.chares[a].work != s.chares[b].work) return s.chares[a].work > s.chares[b].work;
+    return a < b;  // deterministic tie-break
+  });
+  return ids;
+}
+
+std::vector<double> base_completion(const Stats& s) {
+  // Completion contributed by non-migratable chares (they stay put).
+  std::vector<double> done(static_cast<std::size_t>(s.npes), 0.0);
+  for (const ChareInfo& c : s.chares) {
+    if (!c.migratable && c.pe < s.npes)
+      done[static_cast<std::size_t>(c.pe)] += c.work / s.pe_speed[static_cast<std::size_t>(c.pe)];
+  }
+  return done;
+}
+
+std::vector<Migration> to_migrations(const Stats& s, const std::vector<int>& target) {
+  std::vector<Migration> out;
+  for (std::size_t i = 0; i < s.chares.size(); ++i) {
+    const ChareInfo& c = s.chares[i];
+    if (c.migratable && target[i] != c.pe)
+      out.push_back(Migration{c.col, c.idx, c.pe, target[i]});
+  }
+  return out;
+}
+
+/// Speed-aware min-completion assignment over a subset of PEs.  PEs are
+/// bucketed by identical speed so the argmin is O(#speed classes) per chare.
+class MinCompletionAssigner {
+ public:
+  MinCompletionAssigner(const Stats& s, std::vector<int> pes, std::vector<double> done)
+      : speeds_(s.pe_speed), done_(std::move(done)) {
+    std::map<double, std::vector<int>> classes;
+    for (int pe : pes) classes[speeds_[static_cast<std::size_t>(pe)]].push_back(pe);
+    for (auto& [speed, members] : classes) {
+      Class cl;
+      cl.speed = speed;
+      for (int pe : members) cl.heap.push({done_[static_cast<std::size_t>(pe)], pe});
+      classes_.push_back(std::move(cl));
+    }
+  }
+
+  int place(double work) {
+    double best_time = 0;
+    std::size_t best = classes_.size();
+    for (std::size_t k = 0; k < classes_.size(); ++k) {
+      const auto& top = classes_[k].heap.top();
+      const double t = top.first + work / classes_[k].speed;
+      if (best == classes_.size() || t < best_time ||
+          (t == best_time && top.second < classes_[best].heap.top().second)) {
+        best = k;
+        best_time = t;
+      }
+    }
+    Class& cl = classes_[best];
+    auto [cur, pe] = cl.heap.top();
+    cl.heap.pop();
+    cl.heap.push({cur + work / cl.speed, pe});
+    done_[static_cast<std::size_t>(pe)] = cur + work / cl.speed;
+    return pe;
+  }
+
+ private:
+  struct Class {
+    double speed = 1.0;
+    // min-heap of (completion, pe); pe tie-break keeps runs deterministic
+    std::priority_queue<std::pair<double, int>, std::vector<std::pair<double, int>>,
+                        std::greater<>>
+        heap;
+  };
+  const std::vector<double>& speeds_;
+  std::vector<double> done_;
+  std::vector<Class> classes_;
+};
+
+class GreedyLB final : public Strategy {
+ public:
+  std::string name() const override { return "GreedyLB"; }
+  std::vector<Migration> assign(const Stats& s) override {
+    std::vector<int> pes(static_cast<std::size_t>(s.npes));
+    std::iota(pes.begin(), pes.end(), 0);
+    MinCompletionAssigner assigner(s, pes, base_completion(s));
+    std::vector<int> target(s.chares.size());
+    for (std::size_t i = 0; i < s.chares.size(); ++i) target[i] = s.chares[i].pe;
+    for (std::size_t i : migratable_by_desc_work(s)) target[i] = assigner.place(s.chares[i].work);
+    return to_migrations(s, target);
+  }
+};
+
+class RefineLB final : public Strategy {
+ public:
+  explicit RefineLB(double tolerance) : tol_(tolerance) {}
+  std::string name() const override { return "RefineLB"; }
+
+  std::vector<Migration> assign(const Stats& s) override {
+    const auto n = static_cast<std::size_t>(s.npes);
+    std::vector<double> done(n, 0.0);
+    std::vector<int> target(s.chares.size());
+    std::vector<std::vector<std::size_t>> on_pe(n);
+    double total_work = 0;
+    for (std::size_t i = 0; i < s.chares.size(); ++i) {
+      const ChareInfo& c = s.chares[i];
+      const int pe = std::min(c.pe, s.npes - 1);
+      target[i] = pe;
+      done[static_cast<std::size_t>(pe)] += c.work / s.pe_speed[static_cast<std::size_t>(pe)];
+      if (c.migratable) on_pe[static_cast<std::size_t>(pe)].push_back(i);
+      total_work += c.work;
+    }
+    const double total_speed = std::accumulate(s.pe_speed.begin(), s.pe_speed.begin() + s.npes, 0.0);
+    const double target_time = total_work / total_speed;
+
+    for (int iter = 0; iter < 8 * s.npes; ++iter) {
+      const auto hot = static_cast<std::size_t>(
+          std::max_element(done.begin(), done.end()) - done.begin());
+      const auto cold = static_cast<std::size_t>(
+          std::min_element(done.begin(), done.end()) - done.begin());
+      if (done[hot] <= target_time * tol_) break;
+      // Move the largest chare that fits without overshooting the target.
+      std::size_t pick = s.chares.size();
+      double pick_work = -1;
+      for (std::size_t i : on_pe[hot]) {
+        const double w = s.chares[i].work;
+        if (done[cold] + w / s.pe_speed[cold] <= target_time * tol_ && w > pick_work) {
+          pick = i;
+          pick_work = w;
+        }
+      }
+      if (pick == s.chares.size()) {
+        // Nothing fits under the cap; move the smallest to make progress.
+        for (std::size_t i : on_pe[hot])
+          if (pick == s.chares.size() || s.chares[i].work < pick_work ||
+              pick_work < 0) {
+            pick = i;
+            pick_work = s.chares[i].work;
+          }
+        if (pick == s.chares.size()) break;
+      }
+      on_pe[hot].erase(std::find(on_pe[hot].begin(), on_pe[hot].end(), pick));
+      on_pe[cold].push_back(pick);
+      done[hot] -= pick_work / s.pe_speed[hot];
+      done[cold] += pick_work / s.pe_speed[cold];
+      target[pick] = static_cast<int>(cold);
+    }
+    return to_migrations(s, target);
+  }
+
+ private:
+  double tol_;
+};
+
+/// Two-level hierarchical balancing (HybridLB): balance group totals first,
+/// then PEs within each group.
+class HybridLB final : public Strategy {
+ public:
+  std::string name() const override { return "HybridLB"; }
+
+  std::vector<Migration> assign(const Stats& s) override {
+    const int ngroups = std::max(1, static_cast<int>(std::round(std::sqrt(s.npes))));
+    const int per_group = (s.npes + ngroups - 1) / ngroups;
+    auto group_of = [&](int pe) { return pe / per_group; };
+
+    // Level 1: greedy over groups (capacity = sum of member speeds).
+    std::vector<double> group_speed(static_cast<std::size_t>(ngroups), 0.0);
+    for (int pe = 0; pe < s.npes; ++pe)
+      group_speed[static_cast<std::size_t>(group_of(pe))] +=
+          s.pe_speed[static_cast<std::size_t>(pe)];
+
+    std::vector<double> group_done(static_cast<std::size_t>(ngroups), 0.0);
+    for (const ChareInfo& c : s.chares)
+      if (!c.migratable)
+        group_done[static_cast<std::size_t>(group_of(std::min(c.pe, s.npes - 1)))] +=
+            c.work / group_speed[static_cast<std::size_t>(group_of(std::min(c.pe, s.npes - 1)))];
+
+    std::vector<int> chare_group(s.chares.size());
+    for (std::size_t i = 0; i < s.chares.size(); ++i)
+      chare_group[i] = group_of(std::min(s.chares[i].pe, s.npes - 1));
+    for (std::size_t i : migratable_by_desc_work(s)) {
+      int best = 0;
+      double best_t = 0;
+      for (int g = 0; g < ngroups; ++g) {
+        const double t = group_done[static_cast<std::size_t>(g)] +
+                         s.chares[i].work / group_speed[static_cast<std::size_t>(g)];
+        if (g == 0 || t < best_t) {
+          best = g;
+          best_t = t;
+        }
+      }
+      chare_group[i] = best;
+      group_done[static_cast<std::size_t>(best)] = best_t;
+    }
+
+    // Level 2: greedy within each group.
+    std::vector<int> target(s.chares.size());
+    for (std::size_t i = 0; i < s.chares.size(); ++i) target[i] = s.chares[i].pe;
+    for (int g = 0; g < ngroups; ++g) {
+      std::vector<int> pes;
+      for (int pe = g * per_group; pe < std::min((g + 1) * per_group, s.npes); ++pe)
+        pes.push_back(pe);
+      if (pes.empty()) continue;
+      std::vector<double> done(s.pe_speed.size(), 0.0);
+      for (const ChareInfo& c : s.chares)
+        if (!c.migratable && group_of(std::min(c.pe, s.npes - 1)) == g)
+          done[static_cast<std::size_t>(c.pe)] +=
+              c.work / s.pe_speed[static_cast<std::size_t>(c.pe)];
+      MinCompletionAssigner assigner(s, pes, done);
+      for (std::size_t i : migratable_by_desc_work(s))
+        if (chare_group[i] == g) target[i] = assigner.place(s.chares[i].work);
+    }
+    return to_migrations(s, target);
+  }
+};
+
+class RotateLB final : public Strategy {
+ public:
+  std::string name() const override { return "RotateLB"; }
+  std::vector<Migration> assign(const Stats& s) override {
+    std::vector<Migration> out;
+    for (const ChareInfo& c : s.chares)
+      if (c.migratable)
+        out.push_back(Migration{c.col, c.idx, c.pe, (c.pe + 1) % s.npes});
+    return out;
+  }
+};
+
+class RandomLB final : public Strategy {
+ public:
+  explicit RandomLB(std::uint64_t seed) : seed_(seed) {}
+  std::string name() const override { return "RandomLB"; }
+  std::vector<Migration> assign(const Stats& s) override {
+    sim::Rng rng(seed_++);
+    std::vector<int> target(s.chares.size());
+    for (std::size_t i = 0; i < s.chares.size(); ++i)
+      target[i] = s.chares[i].migratable
+                      ? static_cast<int>(rng.next_below(static_cast<std::uint64_t>(s.npes)))
+                      : s.chares[i].pe;
+    return to_migrations(s, target);
+  }
+
+ private:
+  std::uint64_t seed_;
+};
+
+}  // namespace
+
+std::unique_ptr<Strategy> make_greedy() { return std::make_unique<GreedyLB>(); }
+std::unique_ptr<Strategy> make_refine(double tolerance) {
+  return std::make_unique<RefineLB>(tolerance);
+}
+std::unique_ptr<Strategy> make_hybrid() { return std::make_unique<HybridLB>(); }
+std::unique_ptr<Strategy> make_rotate() { return std::make_unique<RotateLB>(); }
+std::unique_ptr<Strategy> make_random(std::uint64_t seed) {
+  return std::make_unique<RandomLB>(seed);
+}
+
+double imbalance_of(const Stats& s) {
+  std::vector<double> done(static_cast<std::size_t>(s.npes), 0.0);
+  for (const ChareInfo& c : s.chares) {
+    const int pe = std::min(c.pe, s.npes - 1);
+    done[static_cast<std::size_t>(pe)] += c.work / s.pe_speed[static_cast<std::size_t>(pe)];
+  }
+  const double mx = *std::max_element(done.begin(), done.end());
+  const double avg = std::accumulate(done.begin(), done.end(), 0.0) / s.npes;
+  return avg > 0 ? mx / avg : 1.0;
+}
+
+}  // namespace charm::lb

@@ -1,0 +1,72 @@
+#pragma once
+// Load balancing strategy interface and the built-in strategy suite
+// (§III-A of the paper: centralized, distributed and hierarchical schemes).
+//
+// Strategies see normalized *work* per chare (measured virtual load scaled
+// back by the source PE's frequency), plus per-PE speeds, so they remain
+// correct under DVFS and heterogeneous-cloud frequency scaling (§III-C, §IV-F).
+
+#include <array>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runtime/index.hpp"
+#include "runtime/types.hpp"
+
+namespace charm::lb {
+
+struct ChareInfo {
+  CollectionId col = -1;
+  ObjIndex idx{};
+  int pe = 0;
+  double work = 0;  ///< frequency-normalized load since the last LB round
+  bool migratable = true;
+  std::array<double, 3> coords{};  ///< spatial position (ORB)
+};
+
+struct Stats {
+  int npes = 0;                   ///< active PEs (assignment targets are 0..npes-1)
+  std::vector<double> pe_speed;   ///< frequency scale per PE
+  std::vector<ChareInfo> chares;
+};
+
+struct Migration {
+  CollectionId col = -1;
+  ObjIndex idx{};
+  int from = 0;
+  int to = 0;
+};
+
+class Strategy {
+ public:
+  virtual ~Strategy() = default;
+  virtual std::string name() const = 0;
+  virtual std::vector<Migration> assign(const Stats& stats) = 0;
+};
+
+/// Sort chares by descending work; assign each to the PE with the earliest
+/// predicted completion time (work/speed).  O(n log n), ignores current
+/// placement (may migrate heavily).
+std::unique_ptr<Strategy> make_greedy();
+
+/// Moves chares off overloaded PEs onto underloaded ones until the predicted
+/// max is within `tolerance` of the mean; minimizes migrations.
+std::unique_ptr<Strategy> make_refine(double tolerance = 1.05);
+
+/// Two-level hierarchical scheme (HybridLB in the paper): PEs are split into
+/// ~sqrt(P) groups; group loads are balanced first, then chares within each
+/// group.
+std::unique_ptr<Strategy> make_hybrid();
+
+/// Orthogonal recursive bisection over chare spatial coordinates (Barnes-Hut).
+std::unique_ptr<Strategy> make_orb();
+
+/// Testing strategies.
+std::unique_ptr<Strategy> make_rotate();
+std::unique_ptr<Strategy> make_random(std::uint64_t seed);
+
+/// Predicted max/avg completion ratio for a placement (used by tests/MetaLB).
+double imbalance_of(const Stats& stats);
+
+}  // namespace charm::lb

@@ -1,0 +1,45 @@
+#pragma once
+// Malleable jobs: shrink/expand at run time (§III-D, Fig 5).
+//
+// An external scheduler command (delivered through a CCS-style in-process
+// command queue; DESIGN.md §1) asks the job to change its PE set.  The runtime
+// evacuates chares from the PEs being removed (shrink) or spreads them onto
+// the new PEs (expand) with a customized balancer, rebuilds location state,
+// and charges the process restart/reconnect time that dominated the paper's
+// measurements (2.7 s shrink, 7.2 s expand at 256 cores).
+
+#include "runtime/callback.hpp"
+#include "runtime/runtime.hpp"
+
+namespace charm::ccs {
+
+struct ReconfigCosts {
+  /// Process teardown/restart dominates (paper §III-D): base plus a weak
+  /// dependence on the target PE count.
+  double shrink_base_s = 2.0;
+  double expand_base_s = 5.5;
+  double per_pe_s = 0.004;
+};
+
+/// CCS-style command server: queues shrink/expand requests that take effect
+/// at the application's next AtSync boundary.
+class Server {
+ public:
+  explicit Server(Runtime& rt, ReconfigCosts costs = {}) : rt_(rt), costs_(costs) {}
+
+  /// Shrink the job to `target_pes`; `done` fires when the application has
+  /// been rebalanced onto the smaller set.
+  void request_shrink(int target_pes, Callback done);
+
+  /// Expand the job to `target_pes` (PEs must exist in the machine).
+  void request_expand(int target_pes, Callback done);
+
+  int requests_served() const { return served_; }
+
+ private:
+  Runtime& rt_;
+  ReconfigCosts costs_;
+  int served_ = 0;
+};
+
+}  // namespace charm::ccs

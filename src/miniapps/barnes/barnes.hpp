@@ -1,0 +1,169 @@
+#pragma once
+// Barnes-Hut mini-app (§IV-C) with ChaNGa-style phases (Fig 13).
+//
+// The domain is oct-decomposed into TreePieces (many more pieces than PEs).
+// Every step runs the phases the paper's ChaNGa plot breaks out:
+//
+//   DD      domain decomposition — particles that drifted out of a piece's
+//           region are shipped to the owning piece (QD-delimited);
+//   TB      tree build — each piece builds its local summary (center of mass,
+//           mass, bounding radius) and the summaries are gathered+broadcast;
+//   Gravity far pieces interact via their multipole (monopole) summary; near
+//           pieces are fetched with HIGH-priority remote data requests
+//           (§IV-C-2: prioritized messages) and integrated directly;
+//   LB      AtSync with an ORB strategy over piece centers of mass.
+//
+// The Plummer-like clustered particle distribution makes central pieces far
+// heavier — the imbalance Fig 12 measures.
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "runtime/charm.hpp"
+
+namespace charm::barnes {
+
+struct Params {
+  int pieces_per_dim = 4;     ///< pieces = pieces_per_dim^3
+  int nparticles = 4096;
+  double theta = 0.5;         ///< opening angle
+  double dt = 1e-3;
+  double soften = 0.05;
+  double pair_cost = 8e-9;    ///< charged per direct particle pair
+  double mono_cost = 4e-9;    ///< charged per particle-monopole interaction
+  double concentration = 1.0; ///< Plummer core scale (smaller = more clustered)
+  /// Cluster center: deliberately off the coarse decomposition grid lines so
+  /// a one-piece-per-PE run is genuinely imbalanced (as in any real dataset).
+  double cx = 0.37, cy = 0.41, cz = 0.47;
+  std::uint64_t seed = 17;
+};
+
+struct Body {
+  double x = 0, y = 0, z = 0;
+  double vx = 0, vy = 0, vz = 0;
+  double m = 1.0;
+};
+
+struct PieceSummary {
+  std::int32_t piece = -1;
+  double cx = 0, cy = 0, cz = 0;  ///< center of mass
+  double mass = 0;
+  double radius = 0;              ///< bounding radius around the COM
+  std::int32_t count = 0;
+};
+
+struct StartMsg {
+  int dummy = 0;
+  void pup(pup::Er& p) { p | dummy; }
+};
+
+struct BodiesMsg {
+  std::int32_t from = -1;
+  std::vector<Body> bodies;
+  void pup(pup::Er& p) {
+    p | from;
+    p | bodies;
+  }
+};
+
+struct SummariesMsg {
+  std::vector<PieceSummary> all;
+  void pup(pup::Er& p) {
+    std::uint64_t n = all.size();
+    p | n;
+    if (p.unpacking()) all.resize(static_cast<std::size_t>(n));
+    pup::PUParray(p, all.data(), all.size());
+  }
+};
+
+struct RequestMsg {
+  std::int32_t from = -1;
+  void pup(pup::Er& p) { p | from; }
+};
+
+class Piece : public charm::ArrayElement<Piece, std::int32_t> {
+ public:
+  Piece() = default;
+  Piece(const Params& p, ArrayProxy<Piece, std::int32_t> pieces);
+
+  // phase entries (driver-broadcast)
+  void exchange();                    // DD: ship drifted bodies
+  void take_bodies(const BodiesMsg& m);
+  void build(const StartMsg&);        // TB: summarize + contribute
+  void gravity(const SummariesMsg& m);// Gravity: walk summaries
+  void request(const RequestMsg& m);  // near-piece data request
+  void reply(const BodiesMsg& m);     // HIGH-priority remote data reply
+  void integrate(const StartMsg&);    // drift + AtSync (LB phase)
+  void resume_from_sync() override;   // contributes the LB phase barrier
+
+  std::array<double, 3> lb_coords() const override;
+  void pup(pup::Er& p) override;
+
+  const std::vector<Body>& bodies() const { return bodies_; }
+  void seed_bodies(std::vector<Body> b) { bodies_ = std::move(b); }
+  std::uint64_t direct_pairs() const { return direct_pairs_; }
+
+  static Callback phase_cb;  ///< phase-barrier reduction target
+
+ private:
+  int owner_of(const Body& b) const;
+  void maybe_finish_gravity();
+  void accumulate_direct(const std::vector<Body>& other);
+
+  Params p_{};
+  ArrayProxy<Piece, std::int32_t> pieces_;
+  std::vector<Body> bodies_;
+  std::vector<double> acc_;        ///< 3 per body
+  std::vector<PieceSummary> all_;  ///< gathered summaries for this step
+  int replies_expected_ = 0;
+  int replies_seen_ = 0;
+  bool gravity_active_ = false;
+  std::uint64_t direct_pairs_ = 0;
+};
+
+/// Per-step phase timings in virtual seconds (Fig 13 series).
+struct PhaseTimes {
+  double dd = 0, tb = 0, gravity = 0, lb = 0, total = 0;
+};
+
+class Simulation {
+ public:
+  Simulation(Runtime& rt, Params p);
+
+  /// Run `steps` full steps; `done` fires at the end.
+  void run(int steps, Callback done);
+
+  const std::vector<PhaseTimes>& phase_times() const { return times_; }
+  ArrayProxy<Piece, std::int32_t> pieces() const { return pieces_; }
+  int npieces() const;
+  std::size_t total_bodies() const;
+  std::array<double, 3> total_momentum() const;
+
+ private:
+  void start_step();
+  void after_dd();
+  void after_tb(std::vector<std::vector<std::byte>> chunks);
+  void after_gravity();
+  void after_lb();
+
+  Runtime& rt_;
+  Params p_;
+  ArrayProxy<Piece, std::int32_t> pieces_;
+  int steps_left_ = 0;
+  Callback done_;
+  std::vector<PhaseTimes> times_;
+  PhaseTimes current_{};
+  double phase_start_ = 0;
+};
+
+}  // namespace charm::barnes
+
+namespace pup {
+template <>
+struct AsBytes<charm::barnes::Params> : std::true_type {};
+template <>
+struct AsBytes<charm::barnes::Body> : std::true_type {};
+template <>
+struct AsBytes<charm::barnes::PieceSummary> : std::true_type {};
+}  // namespace pup

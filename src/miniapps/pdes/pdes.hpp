@@ -1,0 +1,97 @@
+#pragma once
+// PDES mini-app (§IV-E): parallel discrete event simulation under the YAWNS
+// windowed conservative protocol, benchmarked with PHOLD.
+//
+// Phases alternate exactly as the paper describes: a window calculation (a
+// global min-reduction over each LP's earliest pending timestamp) and an
+// execution phase (every event with ts < GVT + lookahead runs; each spawns a
+// successor at ts + lookahead + Exp(mean) on a random LP).  Generated events
+// travel either as direct point sends or through TRAM (Fig 15b); quiescence
+// detection separates the phases.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "runtime/charm.hpp"
+#include "tram/tram.hpp"
+
+namespace charm::pdes {
+
+struct Params {
+  int nlps = 256;
+  int initial_events_per_lp = 32;
+  double lookahead = 1.0;
+  double mean_delay = 1.0;       ///< exponential extra delay
+  double event_cost = 1.5e-6;    ///< charged seconds per executed event
+  bool use_tram = false;
+  std::size_t tram_buffer = 64;
+  std::uint64_t seed = 99;
+};
+
+struct EventMsg {
+  double ts = 0;
+  void pup(pup::Er& p) { p | ts; }
+};
+
+struct WindowMsg {
+  double gvt = 0;
+  void pup(pup::Er& p) { p | gvt; }
+};
+
+class Lp : public charm::ArrayElement<Lp, std::int32_t> {
+ public:
+  Lp() = default;
+  Lp(const Params& p, ArrayProxy<Lp, std::int32_t> lps);
+
+  void seed_events(const WindowMsg&);
+  void recv_event(const EventMsg& m);
+  void report_min(const WindowMsg&);
+  void execute_window(const WindowMsg& m);
+  void pup(pup::Er& p) override;
+
+  std::uint64_t executed() const { return executed_; }
+
+  static Callback window_cb;  ///< min-reduction target (Engine phase driver)
+  static std::optional<tram::Stream<&Lp::recv_event>> tram_stream;
+
+ private:
+  void emit(double ts);
+  double next_ts() const;
+
+  Params p_{};
+  ArrayProxy<Lp, std::int32_t> lps_;
+  std::vector<double> heap_;  ///< min-heap of pending event timestamps
+  sim::Rng rng_;
+  std::uint64_t executed_ = 0;
+};
+
+/// Drives YAWNS windows until virtual-event-time `end_time`.
+class Engine {
+ public:
+  Engine(Runtime& rt, Params p);
+  ~Engine();
+
+  void run_until(double end_time, Callback done);
+
+  std::uint64_t total_executed() const;
+  int windows() const { return windows_; }
+  ArrayProxy<Lp, std::int32_t> lps() const { return lps_; }
+
+ private:
+  void window_complete(double gvt_min);
+
+  Runtime& rt_;
+  Params p_;
+  ArrayProxy<Lp, std::int32_t> lps_;
+  double end_time_ = 0;
+  Callback done_;
+  int windows_ = 0;
+};
+
+}  // namespace charm::pdes
+
+namespace pup {
+template <>
+struct AsBytes<charm::pdes::Params> : std::true_type {};
+}  // namespace pup

@@ -1,0 +1,7 @@
+// PUP is header-only; this translation unit anchors the vtable for pup::Er.
+#include "pup/pup.hpp"
+
+namespace pup {
+// Intentionally empty: Er's key function is defaulted in the header; the
+// library still compiles this TU so the archive has a home for the module.
+}  // namespace pup

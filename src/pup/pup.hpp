@@ -1,0 +1,295 @@
+#pragma once
+// PUP (Pack/UnPack) serialization framework, modeled after Charm++'s PUP::er.
+//
+// A single user-written `pup` member function describes an object's state; the
+// same function drives sizing, packing to a byte stream, and unpacking from a
+// byte stream.  This is the substrate for chare migration, disk checkpoints,
+// and the double in-memory checkpoint protocol.
+//
+//   struct A {
+//     int foo; std::array<float, 32> bar;
+//     void pup(pup::Er& p) { p | foo; p | bar; }
+//   };
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <optional>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+namespace pup {
+
+/// Marks a user type as safe to serialize by raw byte copy.  Specialize for
+/// POD structs that contain no pointers:
+///   template<> struct AsBytes<MyPod> : std::true_type {};
+template <class T>
+struct AsBytes : std::false_type {};
+
+/// Base serializer.  Concrete modes: Sizer, Packer, Unpacker.
+class Er {
+ public:
+  enum class Mode { kSizing, kPacking, kUnpacking };
+
+  explicit Er(Mode m) : mode_(m) {}
+  virtual ~Er() = default;
+  Er(const Er&) = delete;
+  Er& operator=(const Er&) = delete;
+
+  Mode mode() const { return mode_; }
+  bool sizing() const { return mode_ == Mode::kSizing; }
+  bool packing() const { return mode_ == Mode::kPacking; }
+  bool unpacking() const { return mode_ == Mode::kUnpacking; }
+
+  /// Process `n` raw bytes at `p` (read on pack, write on unpack).
+  virtual void bytes(void* p, std::size_t n) = 0;
+
+ private:
+  Mode mode_;
+};
+
+/// Pass 1: computes the packed size of an object without writing anything.
+class Sizer final : public Er {
+ public:
+  Sizer() : Er(Mode::kSizing) {}
+  void bytes(void*, std::size_t n) override { size_ += n; }
+  std::size_t size() const { return size_; }
+
+ private:
+  std::size_t size_ = 0;
+};
+
+/// Pass 2: appends the object's bytes to an owned buffer.
+class Packer final : public Er {
+ public:
+  explicit Packer(std::vector<std::byte>& out) : Er(Mode::kPacking), out_(out) {}
+  void bytes(void* p, std::size_t n) override {
+    const auto* b = static_cast<const std::byte*>(p);
+    out_.insert(out_.end(), b, b + n);
+  }
+
+ private:
+  std::vector<std::byte>& out_;
+};
+
+/// Pass 3: reads the object's bytes back out of a buffer.
+class Unpacker final : public Er {
+ public:
+  Unpacker(const std::byte* data, std::size_t size)
+      : Er(Mode::kUnpacking), data_(data), size_(size) {}
+  explicit Unpacker(const std::vector<std::byte>& buf)
+      : Unpacker(buf.data(), buf.size()) {}
+
+  void bytes(void* p, std::size_t n) override {
+    if (cursor_ + n > size_) throw std::out_of_range("pup::Unpacker: buffer underrun");
+    std::memcpy(p, data_ + cursor_, n);
+    cursor_ += n;
+  }
+  std::size_t remaining() const { return size_ - cursor_; }
+  std::size_t cursor() const { return cursor_; }
+
+ private:
+  const std::byte* data_;
+  std::size_t size_;
+  std::size_t cursor_ = 0;
+};
+
+// ---- dispatch -------------------------------------------------------------
+
+template <class T>
+concept HasPupMethod = requires(T& t, Er& p) { t.pup(p); };
+
+template <class T>
+concept RawPuppable =
+    std::is_arithmetic_v<std::remove_cv_t<T>> || std::is_enum_v<std::remove_cv_t<T>> ||
+    AsBytes<std::remove_cv_t<T>>::value;
+
+template <RawPuppable T>
+inline Er& operator|(Er& p, T& v) {
+  p.bytes(const_cast<std::remove_cv_t<T>*>(&v), sizeof(T));
+  return p;
+}
+
+template <HasPupMethod T>
+inline Er& operator|(Er& p, T& v) {
+  v.pup(p);
+  return p;
+}
+
+/// Charm++-style helper for C arrays of puppable elements.
+template <class T>
+inline void PUParray(Er& p, T* arr, std::size_t n) {
+  if constexpr (RawPuppable<T>) {
+    p.bytes(arr, n * sizeof(T));
+  } else {
+    for (std::size_t i = 0; i < n; ++i) p | arr[i];
+  }
+}
+
+// ---- standard library support ---------------------------------------------
+
+inline Er& operator|(Er& p, std::string& s) {
+  std::uint64_t n = s.size();
+  p | n;
+  if (p.unpacking()) s.resize(static_cast<std::size_t>(n));
+  if (n > 0) p.bytes(s.data(), static_cast<std::size_t>(n));
+  return p;
+}
+
+template <class T>
+Er& operator|(Er& p, std::vector<T>& v) {
+  std::uint64_t n = v.size();
+  p | n;
+  if (p.unpacking()) v.resize(static_cast<std::size_t>(n));
+  PUParray(p, v.data(), v.size());
+  return p;
+}
+
+inline Er& operator|(Er& p, std::vector<bool>& v) {
+  std::uint64_t n = v.size();
+  p | n;
+  if (p.unpacking()) v.resize(static_cast<std::size_t>(n));
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    std::uint8_t b = p.unpacking() ? 0 : static_cast<std::uint8_t>(v[i]);
+    p | b;
+    if (p.unpacking()) v[i] = (b != 0);
+  }
+  return p;
+}
+
+template <class T, std::size_t N>
+Er& operator|(Er& p, std::array<T, N>& a) {
+  PUParray(p, a.data(), N);
+  return p;
+}
+
+template <class A, class B>
+Er& operator|(Er& p, std::pair<A, B>& pr) {
+  p | pr.first;
+  p | pr.second;
+  return p;
+}
+
+template <class T>
+Er& operator|(Er& p, std::optional<T>& o) {
+  std::uint8_t has = o.has_value() ? 1 : 0;
+  p | has;
+  if (p.unpacking()) {
+    if (has) {
+      o.emplace();
+      p | *o;
+    } else {
+      o.reset();
+    }
+  } else if (has) {
+    p | *o;
+  }
+  return p;
+}
+
+template <class T>
+Er& operator|(Er& p, std::deque<T>& d) {
+  std::uint64_t n = d.size();
+  p | n;
+  if (p.unpacking()) d.resize(static_cast<std::size_t>(n));
+  for (auto& e : d) p | e;
+  return p;
+}
+
+namespace detail {
+// Associative containers: pack as (count, k, v, k, v, ...).
+template <class Map>
+Er& pup_map(Er& p, Map& m) {
+  std::uint64_t n = m.size();
+  p | n;
+  if (p.unpacking()) {
+    m.clear();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      typename Map::key_type k{};
+      typename Map::mapped_type v{};
+      p | k;
+      p | v;
+      m.emplace(std::move(k), std::move(v));
+    }
+  } else {
+    for (auto& [k, v] : m) {
+      p | const_cast<typename Map::key_type&>(k);
+      p | v;
+    }
+  }
+  return p;
+}
+
+template <class SetT>
+Er& pup_set(Er& p, SetT& s) {
+  std::uint64_t n = s.size();
+  p | n;
+  if (p.unpacking()) {
+    s.clear();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      typename SetT::key_type k{};
+      p | k;
+      s.insert(std::move(k));
+    }
+  } else {
+    for (auto& k : s) p | const_cast<typename SetT::key_type&>(k);
+  }
+  return p;
+}
+}  // namespace detail
+
+template <class K, class V, class C, class A>
+Er& operator|(Er& p, std::map<K, V, C, A>& m) { return detail::pup_map(p, m); }
+template <class K, class V, class H, class E, class A>
+Er& operator|(Er& p, std::unordered_map<K, V, H, E, A>& m) { return detail::pup_map(p, m); }
+template <class K, class C, class A>
+Er& operator|(Er& p, std::set<K, C, A>& s) { return detail::pup_set(p, s); }
+template <class K, class H, class E, class A>
+Er& operator|(Er& p, std::unordered_set<K, H, E, A>& s) { return detail::pup_set(p, s); }
+
+// ---- convenience round-trip helpers ----------------------------------------
+
+template <class T>
+std::size_t size_of(T& v) {
+  Sizer s;
+  s | v;
+  return s.size();
+}
+
+template <class T>
+std::vector<std::byte> to_bytes(T& v) {
+  std::vector<std::byte> out;
+  out.reserve(size_of(v));
+  Packer pk(out);
+  pk | v;
+  return out;
+}
+
+template <class T>
+void from_bytes(const std::vector<std::byte>& buf, T& v) {
+  Unpacker u(buf);
+  u | v;
+}
+
+template <class T>
+T make_from_bytes(const std::vector<std::byte>& buf) {
+  T v{};
+  from_bytes(buf, v);
+  return v;
+}
+
+}  // namespace pup
+
+// Charm++-compatible spelling used throughout the paper's listings (Fig 3).
+namespace PUP {
+using er = pup::Er;
+}

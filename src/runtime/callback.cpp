@@ -1,0 +1,31 @@
+#include "runtime/callback.hpp"
+
+#include <memory>
+#include <utility>
+
+#include "runtime/runtime.hpp"
+
+namespace charm {
+
+void Callback::invoke(Runtime& rt, ReductionResult&& result) const {
+  switch (kind_) {
+    case Kind::kIgnore:
+      break;
+    case Kind::kFunction: {
+      auto boxed = std::make_shared<ReductionResult>(std::move(result));
+      auto fn = fn_;
+      rt.send_control(pe_, 64, [fn, boxed]() { (*fn)(std::move(*boxed)); });
+      break;
+    }
+    case Kind::kElement: {
+      rt.send_point(col_, idx_, ep_, pup::to_bytes(result), priority_);
+      break;
+    }
+    case Kind::kBroadcast: {
+      rt.broadcast(col_, ep_, pup::to_bytes(result), priority_);
+      break;
+    }
+  }
+}
+
+}  // namespace charm

@@ -1,0 +1,92 @@
+#pragma once
+// Callbacks: where a reduction result (or any completion signal) goes.
+//
+// A callback can target an element entry method, a whole-collection
+// broadcast, or a driver-side function pinned to a PE.  Function callbacks
+// are not puppable and are intended for benchmark drivers / main-chare logic.
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "pup/pup.hpp"
+#include "runtime/index.hpp"
+#include "runtime/types.hpp"
+
+namespace charm {
+
+class Runtime;
+
+/// Result of a reduction: elementwise-combined numbers and/or concatenated
+/// opaque chunks (used to gather per-contributor records).
+struct ReductionResult {
+  std::vector<double> nums;
+  std::vector<std::vector<std::byte>> chunks;
+
+  double num(std::size_t i = 0) const { return i < nums.size() ? nums[i] : 0.0; }
+
+  void pup(pup::Er& p) {
+    p | nums;
+    std::uint64_t n = chunks.size();
+    p | n;
+    if (p.unpacking()) chunks.resize(static_cast<std::size_t>(n));
+    for (auto& c : chunks) p | c;
+  }
+};
+
+class Callback {
+ public:
+  Callback() = default;
+
+  static Callback ignore() { return Callback(); }
+
+  /// Deliver the result to `fn` on PE `pe` (driver-side; not puppable).
+  static Callback to_function(std::function<void(ReductionResult&&)> fn, int pe = 0) {
+    Callback cb;
+    cb.kind_ = Kind::kFunction;
+    cb.pe_ = pe;
+    cb.fn_ = std::make_shared<std::function<void(ReductionResult&&)>>(std::move(fn));
+    return cb;
+  }
+
+  /// Deliver to an entry method `void f(const ReductionResult&)` on one element.
+  static Callback to_element(CollectionId col, ObjIndex idx, EntryId ep,
+                             int priority = kDefaultPriority) {
+    Callback cb;
+    cb.kind_ = Kind::kElement;
+    cb.col_ = col;
+    cb.idx_ = idx;
+    cb.ep_ = ep;
+    cb.priority_ = priority;
+    return cb;
+  }
+
+  /// Broadcast the result to every element of a collection.
+  static Callback to_broadcast(CollectionId col, EntryId ep,
+                               int priority = kDefaultPriority) {
+    Callback cb;
+    cb.kind_ = Kind::kBroadcast;
+    cb.col_ = col;
+    cb.ep_ = ep;
+    cb.priority_ = priority;
+    return cb;
+  }
+
+  bool valid() const { return kind_ != Kind::kIgnore; }
+
+  /// Route the result (defined in callback.cpp; issues real messages).
+  void invoke(Runtime& rt, ReductionResult&& result) const;
+
+ private:
+  enum class Kind : std::uint8_t { kIgnore, kFunction, kElement, kBroadcast };
+
+  Kind kind_ = Kind::kIgnore;
+  CollectionId col_ = -1;
+  ObjIndex idx_{};
+  EntryId ep_ = -1;
+  int pe_ = 0;
+  int priority_ = kDefaultPriority;
+  std::shared_ptr<std::function<void(ReductionResult&&)>> fn_;
+};
+
+}  // namespace charm

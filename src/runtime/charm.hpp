@@ -1,0 +1,13 @@
+#pragma once
+// Umbrella header: everything an application needs.
+
+#include "lb/manager.hpp"
+#include "lb/strategy.hpp"
+#include "pup/pup.hpp"
+#include "runtime/callback.hpp"
+#include "runtime/chare.hpp"
+#include "runtime/index.hpp"
+#include "runtime/proxy.hpp"
+#include "runtime/runtime.hpp"
+#include "sim/machine.hpp"
+#include "sim/rng.hpp"

@@ -1,0 +1,79 @@
+#pragma once
+// Internal per-collection state: element storage, the distributed location
+// directory (home tables + caches), and reduction slots.
+//
+// Memory is logically partitioned per PE: a PE's handler only touches its own
+// PeLocal block; cross-PE effects travel as messages.  This is what makes the
+// emulation faithful to the paper's distributed location manager (§II-D):
+// each PE holds O(local elements + homes hashed to it), never O(total).
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/callback.hpp"
+#include "runtime/chare.hpp"
+#include "runtime/envelope.hpp"
+#include "runtime/types.hpp"
+
+namespace charm {
+
+/// Home-table record: the authoritative location of one element.
+struct HomeRecord {
+  int location = kInvalidPe;
+  bool in_transit = false;
+  std::uint32_t arrived_epoch = 0;       ///< last migration epoch seen complete
+  std::vector<Envelope> buffered;        ///< messages parked during migration
+};
+
+struct PeLocal {
+  std::unordered_map<ObjIndex, std::unique_ptr<ArrayElementBase>, ObjIndexHash> elems;
+  std::unordered_map<ObjIndex, HomeRecord, ObjIndexHash> home;
+  std::unordered_map<ObjIndex, int, ObjIndexHash> loc_cache;
+};
+
+/// A chare array or group instance.
+class Collection {
+ public:
+  struct ReduxSlot {
+    std::int64_t count = 0;
+    bool has_nums = false;
+    ReduceOp op = ReduceOp::kSum;
+    std::vector<double> nums;
+    std::vector<std::vector<std::byte>> chunks;
+    Callback cb;
+    Time last_contribution = 0;
+  };
+
+  CollectionId id = -1;
+  ChareTypeId type = -1;
+  bool migratable = true;
+  bool raw_move = false;   ///< move live objects without PUP (AMPI ranks)
+  bool is_group = false;
+  bool checkpointable = true;  ///< included in FT checkpoints (groups are not)
+  bool record_comm = false;  ///< record element-to-element comm edges for LB
+
+  std::vector<PeLocal> pe;
+  std::int64_t total_elements = 0;
+
+  /// In-flight reductions keyed by sequence number.
+  std::unordered_map<std::uint64_t, ReduxSlot> redux;
+  /// Reduction number newly created elements join: dynamically inserted
+  /// chares (AMR refinement) must not restart at sequence 0 while existing
+  /// chares are at N, or collection-wide reductions would never complete.
+  std::uint64_t redux_floor = 0;
+
+  explicit Collection(int npes) : pe(static_cast<std::size_t>(npes)) {}
+
+  PeLocal& local(int p) { return pe.at(static_cast<std::size_t>(p)); }
+
+  ArrayElementBase* find(int p, const ObjIndex& ix) {
+    auto& m = local(p).elems;
+    auto it = m.find(ix);
+    return it == m.end() ? nullptr : it->second.get();
+  }
+};
+
+}  // namespace charm

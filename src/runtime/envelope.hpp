@@ -1,0 +1,41 @@
+#pragma once
+// Message envelope: everything the runtime needs to route an entry-method
+// invocation to a (possibly migrating) chare.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "runtime/index.hpp"
+#include "runtime/types.hpp"
+
+namespace charm {
+
+struct Envelope {
+  enum class Kind : std::uint8_t {
+    kPoint,   ///< entry-method invocation on one element
+    kCreate,  ///< dynamic element insertion
+  };
+
+  Kind kind = Kind::kPoint;
+  CollectionId col = -1;
+  ObjIndex idx{};
+  EntryId ep = -1;
+  CreatorId creator = -1;
+  int priority = kDefaultPriority;
+
+  // Source identity: PE for cache updates, element for the LB comm graph.
+  int src_pe = kInvalidPe;
+  CollectionId src_col = -1;
+  ObjIndex src_idx{};
+  bool has_src_elem = false;
+
+  int fwd_hops = 0;  ///< times this envelope was location-forwarded
+
+  std::vector<std::byte> payload;
+
+  /// Modeled wire footprint: payload plus a fixed header.
+  std::size_t wire_size() const { return payload.size() + 48; }
+};
+
+}  // namespace charm

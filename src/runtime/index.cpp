@@ -1,0 +1,13 @@
+#include "runtime/index.hpp"
+
+#include <sstream>
+
+namespace charm {
+
+std::string to_string(const ObjIndex& i) {
+  std::ostringstream os;
+  os << "[" << i.a << ":" << i.b << "]";
+  return os.str();
+}
+
+}  // namespace charm

@@ -1,0 +1,131 @@
+#pragma once
+// Chare array index machinery.
+//
+// The runtime stores every element index as an opaque 128-bit ObjIndex; typed
+// indices (1-D ints, dense 2/3-D, sparse 6-D, and the bit-vector oct-tree
+// index the AMR mini-app uses, §IV-A of the paper) are encoded into it via
+// IndexTraits.  Any user type up to 16 trivially-copyable bytes works.
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <type_traits>
+
+#include "pup/pup.hpp"
+
+namespace charm {
+
+struct ObjIndex {
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  friend bool operator==(const ObjIndex&, const ObjIndex&) = default;
+  void pup(pup::Er& p) {
+    p | a;
+    p | b;
+  }
+};
+
+struct ObjIndexHash {
+  std::size_t operator()(const ObjIndex& i) const {
+    std::uint64_t h = i.a * 0x9E3779B97F4A7C15ull;
+    h ^= (i.b + 0xC4CEB9FE1A85EC53ull) + (h << 7) + (h >> 3);
+    h *= 0xFF51AFD7ED558CCDull;
+    return static_cast<std::size_t>(h ^ (h >> 29));
+  }
+};
+
+// ---- typed indices ---------------------------------------------------------
+
+struct Index2D {
+  std::int32_t x = 0, y = 0;
+  friend bool operator==(const Index2D&, const Index2D&) = default;
+};
+
+struct Index3D {
+  std::int32_t x = 0, y = 0, z = 0;
+  friend bool operator==(const Index3D&, const Index3D&) = default;
+};
+
+/// Sparse 6-D index (pairwise interactions in LeanMD: two 3-D cell coords).
+struct Index6D {
+  std::array<std::int16_t, 6> d{};
+  friend bool operator==(const Index6D&, const Index6D&) = default;
+};
+
+/// Bit-vector oct-tree index: 3 bits per level, root at depth 0.  A block can
+/// compute its parent's and children's indices with local bit operations —
+/// this is what makes AMR mesh restructuring fully distributed (§IV-A-4).
+struct BitIndex {
+  std::uint64_t bits = 0;   ///< child choices, 3 bits per level, level 0 at LSB
+  std::uint8_t depth = 0;
+
+  BitIndex parent() const {
+    BitIndex p{bits & ~(0x7ull << (3 * (depth - 1))), static_cast<std::uint8_t>(depth - 1)};
+    return p;
+  }
+  BitIndex child(int octant) const {
+    return BitIndex{bits | (static_cast<std::uint64_t>(octant) << (3 * depth)),
+                    static_cast<std::uint8_t>(depth + 1)};
+  }
+  int octant_at(int level) const { return static_cast<int>((bits >> (3 * level)) & 0x7u); }
+  friend bool operator==(const BitIndex&, const BitIndex&) = default;
+};
+
+// ---- encoding --------------------------------------------------------------
+
+template <class Ix>
+struct IndexTraits {
+  static_assert(std::is_trivially_copyable_v<Ix> && sizeof(Ix) <= 16,
+                "Index types must be trivially copyable and at most 16 bytes; "
+                "specialize IndexTraits for anything else");
+  static_assert(std::has_unique_object_representations_v<Ix>,
+                "Index types must have no padding bytes (padding would leak "
+                "indeterminate values into the routing key); specialize "
+                "IndexTraits for padded types");
+
+  static ObjIndex encode(const Ix& ix) {
+    ObjIndex o;
+    std::memcpy(&o, &ix, sizeof(Ix));
+    return o;
+  }
+  static Ix decode(const ObjIndex& o) {
+    Ix ix{};
+    std::memcpy(&ix, &o, sizeof(Ix));
+    return ix;
+  }
+};
+
+/// BitIndex has tail padding; encode its fields explicitly.
+template <>
+struct IndexTraits<BitIndex> {
+  static ObjIndex encode(const BitIndex& ix) {
+    return ObjIndex{ix.bits, static_cast<std::uint64_t>(ix.depth)};
+  }
+  static BitIndex decode(const ObjIndex& o) {
+    return BitIndex{o.a, static_cast<std::uint8_t>(o.b)};
+  }
+};
+
+std::string to_string(const ObjIndex& i);
+
+}  // namespace charm
+
+namespace pup {
+template <>
+struct AsBytes<charm::Index2D> : std::true_type {};
+template <>
+struct AsBytes<charm::Index3D> : std::true_type {};
+template <>
+struct AsBytes<charm::Index6D> : std::true_type {};
+template <>
+struct AsBytes<charm::BitIndex> : std::true_type {};
+}  // namespace pup
+
+namespace std {
+template <>
+struct hash<charm::ObjIndex> {
+  size_t operator()(const charm::ObjIndex& i) const { return charm::ObjIndexHash{}(i); }
+};
+}  // namespace std

@@ -1,0 +1,204 @@
+// Scalable location management (§II-D of the paper): home PEs, location
+// caches, forwarding, in-transit buffering, and the migration protocol.
+//
+// Every element has a home PE (hash of its index modulo active PEs) that holds
+// the authoritative location record.  Senders use their PE-local cache and
+// fall back to the home; the home forwards misses and pushes cache updates to
+// the original sender.  During a migration the home buffers traffic between
+// the "departed" and "arrived" control messages; a per-element epoch makes the
+// protocol robust to control-message reordering.
+
+#include <cassert>
+#include <utility>
+
+#include "lb/manager.hpp"
+#include "runtime/runtime.hpp"
+
+namespace charm {
+
+void Runtime::handle_point_miss(Envelope env, int pe) {
+  Collection& c = collection(env.col);
+  if (c.is_group) return;  // message to a dead group PE: drop
+
+  const int h = home_pe(env.idx);
+  if (pe != h) {
+    // Stale cache or post-migration straggler: bounce via the home.
+    ++forwards_;
+    ++env.fwd_hops;
+    launch_envelope(std::move(env), h);
+    return;
+  }
+
+  HomeRecord& r = c.local(pe).home[env.idx];
+  if (r.location == kInvalidPe || r.in_transit || r.location == pe) {
+    // Element not yet created here, or mid-migration: park the message.  It
+    // is re-launched (and re-counted) when the element lands.
+    r.buffered.push_back(std::move(env));
+    return;
+  }
+
+  const int loc = r.location;
+  ++forwards_;
+  ++env.fwd_hops;
+  if (env.src_pe >= 0 && env.src_pe != pe && env.src_pe != loc) {
+    // Teach the sender where the element lives now.
+    const int src = env.src_pe;
+    const CollectionId col = env.col;
+    const ObjIndex ix = env.idx;
+    send_control(src, 16, [this, col, ix, loc, src] {
+      collection(col).local(src).loc_cache[ix] = loc;
+    });
+  }
+  launch_envelope(std::move(env), loc);
+}
+
+void Runtime::home_departed(CollectionId col, ObjIndex idx, std::uint32_t epoch) {
+  const int pe = machine_.current_pe();
+  HomeRecord& r = collection(col).local(pe).home[idx];
+  if (epoch > r.arrived_epoch) r.in_transit = true;
+}
+
+void Runtime::home_arrived(CollectionId col, ObjIndex idx, int loc, std::uint32_t epoch) {
+  const int pe = machine_.current_pe();
+  HomeRecord& r = collection(col).local(pe).home[idx];
+  if (epoch >= r.arrived_epoch) {
+    r.arrived_epoch = epoch;
+    r.location = loc;
+    r.in_transit = false;
+    std::vector<Envelope> parked = std::move(r.buffered);
+    r.buffered.clear();
+    for (Envelope& env : parked) launch_envelope(std::move(env), loc);
+  }
+}
+
+void Runtime::install_element(CollectionId col, ObjIndex idx,
+                              std::unique_ptr<ArrayElementBase> obj, int pe,
+                              std::uint32_t epoch, bool migrated) {
+  Collection& c = collection(col);
+  obj->col_ = col;
+  obj->idx_ = idx;
+  obj->pe_ = pe;
+  ArrayElementBase* raw = obj.get();
+  c.local(pe).elems[idx] = std::move(obj);
+
+  if (migrated) raw->on_migrated();
+
+  const int h = home_pe(idx);
+  if (h == pe) {
+    home_arrived(col, idx, pe, epoch);
+  } else {
+    send_control(h, 16, [this, col, idx, pe, epoch] { home_arrived(col, idx, pe, epoch); });
+  }
+
+  if (migrated) lb_->note_migration_arrival();
+}
+
+void Runtime::perform_migration(CollectionId col, ObjIndex idx, int to_pe) {
+  Collection& c = collection(col);
+  const int from = machine_.current_pe();
+  ArrayElementBase* elem = c.find(from, idx);
+  if (elem == nullptr || elem->pe_ != from)
+    throw std::logic_error("perform_migration: element not on the executing PE");
+  if (to_pe == from) return;
+
+  elem->epoch_ += 1;
+  const std::uint32_t epoch = elem->epoch_;
+
+  // Extract the element from the local table.
+  auto& m = c.local(from).elems;
+  auto it = m.find(idx);
+  std::unique_ptr<ArrayElementBase> obj = std::move(it->second);
+  m.erase(it);
+
+  std::size_t bytes;
+  std::vector<std::byte> data;
+  if (c.raw_move) {
+    bytes = obj->migration_bytes();
+    if (bytes == 0) {
+      pup::Sizer s;
+      obj->pup(s);
+      bytes = s.size();
+    }
+  } else {
+    pup::Packer pk(data);
+    obj->pup(pk);
+    bytes = data.size();
+  }
+  charge(bytes / cfg_.migrate_bw);  // pack / copy-out cost
+
+  // Tell the home the element is in transit.
+  const int h = home_pe(idx);
+  if (h == from) {
+    home_departed(col, idx, epoch);
+  } else {
+    send_control(h, 16, [this, col, idx, epoch] { home_departed(col, idx, epoch); });
+  }
+
+  const double unpack_cost = static_cast<double>(bytes) / cfg_.migrate_bw;
+  if (c.raw_move) {
+    // Live object handed over raw (AMPI user-level-thread stacks; DESIGN.md §1).
+    auto holder = std::make_shared<std::unique_ptr<ArrayElementBase>>(std::move(obj));
+    send_control(to_pe, bytes, [this, col, idx, to_pe, epoch, unpack_cost, holder] {
+      charge(unpack_cost);
+      install_element(col, idx, std::move(*holder), to_pe, epoch, /*migrated=*/true);
+    });
+  } else {
+    obj.reset();  // destroyed on the source after packing
+    const ChareTypeId type = c.type;
+    auto payload = std::make_shared<std::vector<std::byte>>(std::move(data));
+    send_control(to_pe, bytes, [this, col, idx, to_pe, epoch, type, unpack_cost, payload] {
+      const ChareTypeInfo& info = Registry::instance().type(type);
+      assert(info.create_default != nullptr &&
+             "migratable chares must be default-constructible");
+      std::unique_ptr<ArrayElementBase> fresh(info.create_default());
+      pup::Unpacker u(*payload);
+      fresh->pup(u);
+      charge(unpack_cost);
+      install_element(col, idx, std::move(fresh), to_pe, epoch, /*migrated=*/true);
+    });
+  }
+}
+
+void Runtime::migrate(CollectionId col, ObjIndex idx, int to_pe) {
+  if (exec_elem_ != nullptr && exec_elem_->col_ == col && exec_elem_->idx_ == idx) {
+    exec_migrate_to_ = to_pe;  // deferred to handler end
+    return;
+  }
+  perform_migration(col, idx, to_pe);
+}
+
+void Runtime::destroy_local(CollectionId col, ObjIndex idx, int pe) {
+  Collection& c = collection(col);
+  auto& m = c.local(pe).elems;
+  auto it = m.find(idx);
+  if (it == m.end()) return;
+  m.erase(it);
+  --c.total_elements;
+  const int h = home_pe(idx);
+  if (h == pe) {
+    c.local(pe).home.erase(idx);
+  } else {
+    send_control(h, 16, [this, col, idx, h] { collection(col).local(h).home.erase(idx); });
+  }
+}
+
+void Runtime::rebuild_location_tables() {
+  for (auto& cp : collections_) {
+    Collection& c = *cp;
+    if (c.is_group) continue;
+    for (auto& pl : c.pe) {
+      pl.home.clear();
+      pl.loc_cache.clear();
+    }
+    for (int p = 0; p < npes(); ++p) {
+      for (auto& [ix, obj] : c.local(p).elems) {
+        HomeRecord& r = c.local(home_pe(ix)).home[ix];
+        r.location = p;
+        r.arrived_epoch = obj->epoch_;
+        r.in_transit = false;
+      }
+    }
+  }
+}
+
+}  // namespace charm

@@ -1,0 +1,80 @@
+// Reductions over collections.
+//
+// Semantics are exact (contributions are combined as they arrive, completion
+// fires when every element of the collection has contributed to that sequence
+// number); the *cost* of the k-ary combine tree is modeled as a critical-path
+// wave after the last contribution (DESIGN.md §5).  Elements contribute in
+// program order; each element's n-th contribution joins the collection's n-th
+// reduction.
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+#include "runtime/runtime.hpp"
+
+namespace charm {
+
+void Runtime::contribute(ArrayElementBase& elem, std::vector<double> nums, bool has_nums,
+                         ReduceOp op, std::vector<std::byte> chunk, bool has_chunk,
+                         const Callback& cb) {
+  Collection& c = collection(elem.col_);
+  if (c.total_elements <= 0)
+    throw std::logic_error("contribute on an empty collection");
+
+  const std::uint64_t seq = elem.redux_seq_++;
+  Collection::ReduxSlot& slot = c.redux[seq];
+  charge(cfg_.contribute_cost);
+
+  if (has_nums) {
+    if (!slot.has_nums) {
+      slot.nums = std::move(nums);
+      slot.has_nums = true;
+      slot.op = op;
+    } else {
+      if (nums.size() > slot.nums.size()) slot.nums.resize(nums.size(), 0.0);
+      for (std::size_t i = 0; i < nums.size(); ++i) {
+        switch (slot.op) {
+          case ReduceOp::kSum: slot.nums[i] += nums[i]; break;
+          case ReduceOp::kMin: slot.nums[i] = std::min(slot.nums[i], nums[i]); break;
+          case ReduceOp::kMax: slot.nums[i] = std::max(slot.nums[i], nums[i]); break;
+        }
+      }
+    }
+  }
+  if (has_chunk) slot.chunks.push_back(std::move(chunk));
+  if (cb.valid()) slot.cb = cb;
+  ++slot.count;
+  slot.last_contribution = now();
+
+  if (slot.count >= c.total_elements) complete_reduction(c, seq);
+}
+
+void Runtime::complete_reduction(Collection& c, std::uint64_t seq) {
+  c.redux_floor = std::max(c.redux_floor, seq + 1);
+  auto node = c.redux.extract(seq);
+  Collection::ReduxSlot& slot = node.mapped();
+  auto result = std::make_shared<ReductionResult>();
+  result->nums = std::move(slot.nums);
+  result->chunks = std::move(slot.chunks);
+  const Callback cb = slot.cb;
+
+  // Critical-path cost of the combine tree after the last contribution.
+  const double delay = tree_wave_latency();
+  ++outstanding_;
+  ++msgs_sent_;
+  machine_.post(0, now() + delay, [this, cb, result]() {
+    if (cb.valid()) cb.invoke(*this, std::move(*result));
+    note_message_done();
+  });
+}
+
+void Runtime::clear_reductions(CollectionId col) {
+  // FT rollback: in-flight slots are dropped and the floor resets; restored
+  // elements carry their own (mutually consistent) checkpointed sequence.
+  collection(col).redux.clear();
+  collection(col).redux_floor = 0;
+}
+
+}  // namespace charm

@@ -1,0 +1,25 @@
+#include "runtime/registry.hpp"
+
+namespace charm {
+
+Registry& Registry::instance() {
+  static Registry r;
+  return r;
+}
+
+ChareTypeId Registry::add_type(ChareTypeInfo info) {
+  types_.push_back(info);
+  return static_cast<ChareTypeId>(types_.size() - 1);
+}
+
+EntryId Registry::add_entry(EntryInfo info) {
+  entries_.push_back(info);
+  return static_cast<EntryId>(entries_.size() - 1);
+}
+
+CreatorId Registry::add_creator(CreatorInfo info) {
+  creators_.push_back(info);
+  return static_cast<CreatorId>(creators_.size() - 1);
+}
+
+}  // namespace charm

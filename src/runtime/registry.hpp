@@ -1,0 +1,134 @@
+#pragma once
+// Chare-type / entry-method / constructor registry.
+//
+// Charm++ generates remote-invocation stubs from .ci files; here the same
+// metadata is produced by templates.  `entry_of<&Foo::bar>()` lazily assigns a
+// stable EntryId and registers a type-erased invoker that unpacks the argument
+// with PUP and calls the member function.
+
+#include <functional>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "pup/pup.hpp"
+#include "runtime/types.hpp"
+
+namespace charm {
+
+class ArrayElementBase;
+
+namespace detail {
+
+template <class Mfp>
+struct MfpTraits;
+
+template <class C, class Arg>
+struct MfpTraits<void (C::*)(const Arg&)> {
+  using Chare = C;
+  using Argument = Arg;
+};
+
+template <class C>
+struct MfpTraits<void (C::*)()> {
+  using Chare = C;
+  using Argument = void;
+};
+
+}  // namespace detail
+
+struct EntryInfo {
+  ChareTypeId type = -1;
+  void (*invoke)(ArrayElementBase*, pup::Unpacker&) = nullptr;
+};
+
+struct CreatorInfo {
+  ChareTypeId type = -1;
+  ArrayElementBase* (*create)(pup::Unpacker&) = nullptr;
+};
+
+struct ChareTypeInfo {
+  /// Default-construct an instance (used to rebuild migrated / restored
+  /// elements before unpacking their state); null when not available.
+  ArrayElementBase* (*create_default)() = nullptr;
+};
+
+class Registry {
+ public:
+  static Registry& instance();
+
+  template <class C>
+  static ChareTypeId type_of() {
+    static const ChareTypeId id = instance().add_type(make_type_info<C>());
+    return id;
+  }
+
+  template <auto Mfp>
+  static EntryId entry_of() {
+    using Traits = detail::MfpTraits<decltype(Mfp)>;
+    static const EntryId id = instance().add_entry(
+        EntryInfo{type_of<typename Traits::Chare>(), &invoke_entry<Mfp>});
+    return id;
+  }
+
+  template <class C, class Arg>
+  static CreatorId creator_of() {
+    static const CreatorId id =
+        instance().add_creator(CreatorInfo{type_of<C>(), &create_from<C, Arg>});
+    return id;
+  }
+
+  const EntryInfo& entry(EntryId id) const { return entries_.at(static_cast<std::size_t>(id)); }
+  const CreatorInfo& creator(CreatorId id) const {
+    return creators_.at(static_cast<std::size_t>(id));
+  }
+  const ChareTypeInfo& type(ChareTypeId id) const {
+    return types_.at(static_cast<std::size_t>(id));
+  }
+
+ private:
+  template <auto Mfp>
+  static void invoke_entry(ArrayElementBase* obj, pup::Unpacker& u) {
+    using Traits = detail::MfpTraits<decltype(Mfp)>;
+    auto* c = static_cast<typename Traits::Chare*>(obj);
+    if constexpr (std::is_void_v<typename Traits::Argument>) {
+      (void)u;
+      (c->*Mfp)();
+    } else {
+      typename Traits::Argument arg{};
+      u | arg;
+      (c->*Mfp)(arg);
+    }
+  }
+
+  template <class C, class Arg>
+  static ArrayElementBase* create_from(pup::Unpacker& u) {
+    if constexpr (std::is_void_v<Arg>) {
+      (void)u;
+      return new C();
+    } else {
+      Arg arg{};
+      u | arg;
+      return new C(arg);
+    }
+  }
+
+  template <class C>
+  static ChareTypeInfo make_type_info() {
+    ChareTypeInfo info;
+    if constexpr (std::is_default_constructible_v<C>) {
+      info.create_default = []() -> ArrayElementBase* { return new C(); };
+    }
+    return info;
+  }
+
+  ChareTypeId add_type(ChareTypeInfo info);
+  EntryId add_entry(EntryInfo info);
+  CreatorId add_creator(CreatorInfo info);
+
+  std::vector<ChareTypeInfo> types_;
+  std::vector<EntryInfo> entries_;
+  std::vector<CreatorInfo> creators_;
+};
+
+}  // namespace charm

@@ -1,0 +1,364 @@
+#include "runtime/runtime.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "lb/manager.hpp"
+
+namespace charm {
+
+Runtime* Runtime::current_ = nullptr;
+
+Runtime::Runtime(sim::Machine& machine, RuntimeConfig cfg)
+    : machine_(machine),
+      cfg_(cfg),
+      dead_(static_cast<std::size_t>(machine.npes()), false),
+      active_pes_(machine.npes()) {
+  if (current_ != nullptr)
+    throw std::logic_error("charm::Runtime: only one runtime may exist at a time");
+  current_ = this;
+  lb_ = std::make_unique<LbManager>(*this);
+}
+
+Runtime::~Runtime() { current_ = nullptr; }
+
+Runtime& Runtime::current() {
+  assert(current_ != nullptr && "no charm::Runtime active");
+  return *current_;
+}
+
+// ---- collections -------------------------------------------------------------
+
+CollectionId Runtime::create_collection(ChareTypeId type, bool is_group) {
+  auto c = std::make_unique<Collection>(npes());
+  c->id = static_cast<CollectionId>(collections_.size());
+  c->type = type;
+  c->is_group = is_group;
+  if (is_group) {
+    c->migratable = false;
+    c->checkpointable = false;
+  }
+  collections_.push_back(std::move(c));
+  return collections_.back()->id;
+}
+
+void Runtime::seed_element(CollectionId col, ObjIndex idx,
+                           std::unique_ptr<ArrayElementBase> obj, int pe) {
+  Collection& c = collection(col);
+  obj->col_ = col;
+  obj->idx_ = idx;
+  obj->pe_ = pe;
+  obj->epoch_ = 1;
+  obj->redux_seq_ = std::max(obj->redux_seq_, c.redux_floor);
+  if (c.is_group) obj->migratable_ = false;
+  c.local(pe).elems[idx] = std::move(obj);
+  ++c.total_elements;
+  if (!c.is_group) {
+    HomeRecord& r = c.local(home_pe(idx)).home[idx];
+    r.location = pe;
+    r.arrived_epoch = 1;
+    r.in_transit = false;
+  }
+}
+
+void Runtime::insert_element(CollectionId col, ObjIndex idx, CreatorId creator,
+                             std::vector<std::byte> ctor_payload, int pe_hint,
+                             int priority) {
+  Envelope env;
+  env.kind = Envelope::Kind::kCreate;
+  env.col = col;
+  env.idx = idx;
+  env.creator = creator;
+  env.priority = priority;
+  env.payload = std::move(ctor_payload);
+  env.src_pe = machine_.in_handler() ? machine_.current_pe() : kInvalidPe;
+  int dst = pe_hint != kInvalidPe ? pe_hint : home_pe(idx);
+  launch_envelope(std::move(env), dst);
+}
+
+void Runtime::destroy_self() {
+  if (exec_elem_ == nullptr)
+    throw std::logic_error("destroy_self outside an element handler");
+  exec_destroy_requested_ = true;
+}
+
+// ---- messaging -----------------------------------------------------------------
+
+void Runtime::launch_envelope(Envelope env, int dst, bool count) {
+  if (count) ++outstanding_;
+  ++msgs_sent_;
+  bytes_sent_ += env.wire_size();
+  const std::size_t wire = env.wire_size();
+  const int prio = env.priority;
+  auto box = std::make_shared<Envelope>(std::move(env));
+  machine_.send(
+      dst, wire, prio,
+      [this, dst, box]() {
+        if (!dead_[static_cast<std::size_t>(dst)]) on_envelope(std::move(*box));
+        note_message_done();
+      },
+      /*src_override=*/0);
+}
+
+void Runtime::send_point(CollectionId col, ObjIndex idx, EntryId ep,
+                         std::vector<std::byte> payload, int priority) {
+  Collection& c = collection(col);
+  Envelope env;
+  env.kind = Envelope::Kind::kPoint;
+  env.col = col;
+  env.idx = idx;
+  env.ep = ep;
+  env.priority = priority;
+  env.payload = std::move(payload);
+  env.src_pe = machine_.in_handler() ? machine_.current_pe() : kInvalidPe;
+  if (exec_elem_ != nullptr) {
+    env.src_col = exec_elem_->col_;
+    env.src_idx = exec_elem_->idx_;
+    env.has_src_elem = true;
+  }
+
+  int dst;
+  if (c.is_group) {
+    dst = static_cast<int>(IndexTraits<std::int32_t>::decode(idx));
+  } else {
+    const int sp = env.src_pe >= 0 ? env.src_pe : 0;
+    if (c.find(sp, idx) != nullptr) {
+      dst = sp;
+    } else {
+      const auto& cache = c.local(sp).loc_cache;
+      auto it = cache.find(idx);
+      dst = it != cache.end() ? it->second : home_pe(idx);
+    }
+  }
+  launch_envelope(std::move(env), dst);
+}
+
+void Runtime::on_envelope(Envelope env) {
+  const int pe = machine_.current_pe();
+  Collection& c = collection(env.col);
+
+  if (env.kind == Envelope::Kind::kCreate) {
+    const CreatorInfo& info = Registry::instance().creator(env.creator);
+    pup::Unpacker u(env.payload);
+    std::unique_ptr<ArrayElementBase> obj(info.create(u));
+    charge(cfg_.create_cost);
+    obj->epoch_ = 1;
+    obj->redux_seq_ = std::max(obj->redux_seq_, c.redux_floor);
+    ++c.total_elements;
+    install_element(env.col, env.idx, std::move(obj), pe, 1);
+    return;
+  }
+
+  ArrayElementBase* elem = c.find(pe, env.idx);
+  if (elem != nullptr) {
+    deliver_here(std::move(env), pe);
+  } else {
+    handle_point_miss(std::move(env), pe);
+  }
+}
+
+void Runtime::deliver_here(Envelope env, int pe) {
+  Collection& c = collection(env.col);
+  ArrayElementBase* elem = c.find(pe, env.idx);
+  assert(elem != nullptr);
+
+  const EntryInfo& einfo = Registry::instance().entry(env.ep);
+  pup::Unpacker u(env.payload);
+
+  // Save/restore execution context so nested deliveries (broadcast legs,
+  // TRAM batch delivery) instrument correctly.
+  ArrayElementBase* prev_elem = exec_elem_;
+  const bool prev_destroy = exec_destroy_requested_;
+  const int prev_migrate = exec_migrate_to_;
+  exec_elem_ = elem;
+  exec_destroy_requested_ = false;
+  exec_migrate_to_ = kInvalidPe;
+
+  const double t0 = machine_.handler_elapsed();
+  einfo.invoke(elem, u);
+  elem->lb_load_ += machine_.handler_elapsed() - t0;
+
+  const bool do_destroy = exec_destroy_requested_;
+  const int mig = exec_migrate_to_;
+  exec_elem_ = prev_elem;
+  exec_destroy_requested_ = prev_destroy;
+  exec_migrate_to_ = prev_migrate;
+
+  if (do_destroy) {
+    destroy_local(env.col, env.idx, pe);
+  } else if (mig != kInvalidPe && mig != pe) {
+    perform_migration(env.col, env.idx, mig);
+  }
+}
+
+void Runtime::deliver_local(Collection& c, ArrayElementBase& elem, EntryId ep,
+                            const std::vector<std::byte>& payload) {
+  const EntryInfo& einfo = Registry::instance().entry(ep);
+  pup::Unpacker u(payload.data(), payload.size());
+
+  ArrayElementBase* prev_elem = exec_elem_;
+  const bool prev_destroy = exec_destroy_requested_;
+  const int prev_migrate = exec_migrate_to_;
+  exec_elem_ = &elem;
+  exec_destroy_requested_ = false;
+  exec_migrate_to_ = kInvalidPe;
+
+  const CollectionId col = elem.col_;
+  const ObjIndex idx = elem.idx_;
+  const int pe = elem.pe_;
+
+  const double t0 = machine_.handler_elapsed();
+  einfo.invoke(&elem, u);
+  elem.lb_load_ += machine_.handler_elapsed() - t0;
+
+  const bool do_destroy = exec_destroy_requested_;
+  const int mig = exec_migrate_to_;
+  exec_elem_ = prev_elem;
+  exec_destroy_requested_ = prev_destroy;
+  exec_migrate_to_ = prev_migrate;
+
+  if (do_destroy) {
+    destroy_local(col, idx, pe);
+  } else if (mig != kInvalidPe && mig != pe) {
+    perform_migration(col, idx, mig);
+  }
+  (void)c;
+}
+
+void Runtime::broadcast(CollectionId col, EntryId ep, std::vector<std::byte> payload,
+                        int priority) {
+  auto pl = std::make_shared<const std::vector<std::byte>>(std::move(payload));
+  const int root = machine_.in_handler() ? machine_.current_pe() : 0;
+  broadcast_tree_leg(col, ep, pl, priority, root, 0);
+}
+
+void Runtime::broadcast_tree_leg(CollectionId col, EntryId ep,
+                                 std::shared_ptr<const std::vector<std::byte>> payload,
+                                 int priority, int root, int relative_rank) {
+  const int abs = (root + relative_rank) % active_pes_;
+  const std::size_t wire = payload->size() + 48;
+  ++outstanding_;
+  ++msgs_sent_;
+  bytes_sent_ += wire;
+  machine_.send(
+      abs, wire, priority,
+      [this, col, ep, payload, priority, root, relative_rank, abs]() {
+        if (!dead_[static_cast<std::size_t>(abs)]) {
+          // Forward down the spanning tree before local delivery so subtree
+          // sends overlap with this PE's delivery work.
+          for (int i = 1; i <= cfg_.bcast_fanout; ++i) {
+            const int child = relative_rank * cfg_.bcast_fanout + i;
+            if (child < active_pes_) broadcast_tree_leg(col, ep, payload, priority, root, child);
+          }
+          Collection& c = collection(col);
+          auto& elems = c.local(abs).elems;
+          std::vector<ObjIndex> snapshot;
+          snapshot.reserve(elems.size());
+          for (const auto& [ix, unused] : elems) snapshot.push_back(ix);
+          for (const ObjIndex& ix : snapshot) {
+            ArrayElementBase* e = c.find(abs, ix);
+            if (e == nullptr) continue;
+            charge(cfg_.deliver_cost);
+            deliver_local(c, *e, ep, *payload);
+          }
+        }
+        note_message_done();
+      },
+      /*src_override=*/0);
+}
+
+void Runtime::broadcast_apply(CollectionId col, std::function<void(ArrayElementBase&)> fn,
+                              int priority) {
+  auto shared_fn = std::make_shared<std::function<void(ArrayElementBase&)>>(std::move(fn));
+  const int root = machine_.in_handler() ? machine_.current_pe() : 0;
+  broadcast_apply_leg(col, shared_fn, priority, root, 0);
+}
+
+void Runtime::broadcast_apply_leg(
+    CollectionId col, std::shared_ptr<std::function<void(ArrayElementBase&)>> fn,
+    int priority, int root, int relative_rank) {
+  const int abs = (root + relative_rank) % active_pes_;
+  ++outstanding_;
+  ++msgs_sent_;
+  bytes_sent_ += 48;
+  machine_.send(
+      abs, 48, priority,
+      [this, col, fn, priority, root, relative_rank, abs]() {
+        if (!dead_[static_cast<std::size_t>(abs)]) {
+          for (int i = 1; i <= cfg_.bcast_fanout; ++i) {
+            const int child = relative_rank * cfg_.bcast_fanout + i;
+            if (child < active_pes_) broadcast_apply_leg(col, fn, priority, root, child);
+          }
+          Collection& c = collection(col);
+          auto& elems = c.local(abs).elems;
+          std::vector<ObjIndex> snapshot;
+          snapshot.reserve(elems.size());
+          for (const auto& [ix, unused] : elems) snapshot.push_back(ix);
+          for (const ObjIndex& ix : snapshot) {
+            ArrayElementBase* e = c.find(abs, ix);
+            if (e == nullptr) continue;
+            charge(cfg_.deliver_cost);
+            // Instrument like any delivery: work done in resume_from_sync
+            // must show up in the next round's LB measurements.
+            const double t0 = machine_.handler_elapsed();
+            (*fn)(*e);
+            e->lb_load_ += machine_.handler_elapsed() - t0;
+          }
+        }
+        note_message_done();
+      },
+      /*src_override=*/0);
+}
+
+void Runtime::send_control(int dst, std::size_t bytes, std::function<void()> fn,
+                           int priority) {
+  ++outstanding_;
+  ++msgs_sent_;
+  bytes_sent_ += bytes + 48;
+  machine_.send(
+      dst, bytes + 48, priority,
+      [this, dst, fn = std::move(fn)]() {
+        if (!dead_[static_cast<std::size_t>(dst)]) fn();
+        note_message_done();
+      },
+      /*src_override=*/0);
+}
+
+// ---- services -------------------------------------------------------------------
+
+void Runtime::on_pe(int pe, std::function<void()> fn, int priority) {
+  machine_.post(pe, now(), std::move(fn), priority);
+}
+
+void Runtime::after(int pe, double dt, std::function<void()> fn) {
+  machine_.post(pe, now() + dt, std::move(fn));
+}
+
+double Runtime::tree_wave_latency() const {
+  const int p = std::max(2, active_pes_);
+  const int depth = std::max(
+      1, static_cast<int>(std::ceil(std::log(static_cast<double>(p)) /
+                                    std::log(static_cast<double>(cfg_.tree_fanout)))));
+  const auto& np = machine_.network().params();
+  return depth * (np.alpha_send + np.alpha_recv + np.latency);
+}
+
+void Runtime::set_pe_dead(int pe, bool dead) {
+  dead_.at(static_cast<std::size_t>(pe)) = dead;
+}
+
+std::unique_ptr<ArrayElementBase> Runtime::extract_local(CollectionId col, ObjIndex idx,
+                                                         int pe) {
+  Collection& c = collection(col);
+  auto& m = c.local(pe).elems;
+  auto it = m.find(idx);
+  if (it == m.end()) return nullptr;
+  std::unique_ptr<ArrayElementBase> obj = std::move(it->second);
+  m.erase(it);
+  --c.total_elements;
+  return obj;
+}
+
+}  // namespace charm

@@ -1,0 +1,228 @@
+#pragma once
+// The charmlike runtime: message-driven execution of migratable chares on the
+// emulated machine.
+//
+// Responsibilities:
+//   * collection lifecycle (arrays, groups, dynamic insertion/destruction)
+//   * point sends with scalable location management (home PEs, caches,
+//     forwarding, in-transit buffering during migration)
+//   * spanning-tree broadcasts, tree-cost-modeled reductions, quiescence
+//     detection, timers
+//   * element migration (PUP pack/move/unpack, home updates)
+//   * per-element load instrumentation feeding the LB framework
+//
+// See DESIGN.md §1 for the emulation methodology.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "runtime/collection.hpp"
+#include "runtime/registry.hpp"
+#include "sim/machine.hpp"
+
+namespace charm {
+
+namespace lb {
+class Manager;
+}
+using LbManager = lb::Manager;
+
+struct RuntimeConfig {
+  int bcast_fanout = 4;           ///< spanning-tree fanout for broadcasts
+  int tree_fanout = 4;            ///< reduction / QD tree fanout
+  double migrate_bw = 4.0e9;      ///< PUP pack/unpack modeled bandwidth (B/s)
+  double create_cost = 0.5e-6;    ///< dynamic element construction cost (s)
+  double contribute_cost = 0.1e-6;///< local reduction combine cost (s)
+  double deliver_cost = 0.05e-6;  ///< per-element broadcast delivery cost (s)
+};
+
+class Runtime {
+ public:
+  Runtime(sim::Machine& machine, RuntimeConfig cfg = {});
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  /// The active runtime (exactly one may exist at a time).
+  static Runtime& current();
+
+  sim::Machine& machine() { return machine_; }
+  const RuntimeConfig& config() const { return cfg_; }
+  int npes() const { return machine_.npes(); }
+  /// PEs currently participating (shrinks/expands under malleability).
+  int active_pes() const { return active_pes_; }
+  void set_active_pes(int n) { active_pes_ = n; }
+
+  int my_pe() const { return machine_.current_pe(); }
+  Time now() const { return machine_.now(); }
+  void charge(double seconds) { machine_.charge(seconds); }
+
+  // ---- collections ---------------------------------------------------------
+
+  CollectionId create_collection(ChareTypeId type, bool is_group);
+  Collection& collection(CollectionId id) { return *collections_.at(static_cast<std::size_t>(id)); }
+  std::size_t collection_count() const { return collections_.size(); }
+
+  /// Installs an element directly (initial placement before the run starts,
+  /// or restart repopulation).  No messages are modeled.
+  void seed_element(CollectionId col, ObjIndex idx,
+                    std::unique_ptr<ArrayElementBase> obj, int pe);
+
+  /// Dynamic insertion via a creation message (costs modeled).
+  void insert_element(CollectionId col, ObjIndex idx, CreatorId creator,
+                      std::vector<std::byte> ctor_payload, int pe_hint = kInvalidPe,
+                      int priority = kDefaultPriority);
+
+  /// Destroys the *currently executing* element when its handler returns
+  /// (AMR coarsening deletes blocks this way).
+  void destroy_self();
+
+  /// Home PE of an index under the current active-PE mapping.
+  int home_pe(const ObjIndex& idx) const {
+    return static_cast<int>(ObjIndexHash{}(idx) % static_cast<std::size_t>(active_pes_));
+  }
+
+  // ---- messaging -----------------------------------------------------------
+
+  void send_point(CollectionId col, ObjIndex idx, EntryId ep,
+                  std::vector<std::byte> payload, int priority = kDefaultPriority);
+
+  void broadcast(CollectionId col, EntryId ep, std::vector<std::byte> payload,
+                 int priority = kDefaultPriority);
+
+  /// Tree-broadcast an in-process function over every element of a collection
+  /// (runtime-internal signals: resume_from_sync, FT rollback hooks).
+  void broadcast_apply(CollectionId col, std::function<void(ArrayElementBase&)> fn,
+                       int priority = kDefaultPriority);
+
+  /// Drops any in-flight reduction state (FT rollback).
+  void clear_reductions(CollectionId col);
+
+  // ---- reductions (called through ArrayElementBase) --------------------------
+
+  void contribute(ArrayElementBase& elem, std::vector<double> nums, bool has_nums,
+                  ReduceOp op, std::vector<std::byte> chunk, bool has_chunk,
+                  const Callback& cb);
+
+  // ---- migration -----------------------------------------------------------
+
+  /// Moves an element to `to_pe`.  Safe to call from within the element's own
+  /// handler (deferred to handler end).
+  void migrate(CollectionId col, ObjIndex idx, int to_pe);
+
+  // ---- services -------------------------------------------------------------
+
+  /// Run `fn` on `pe` as soon as possible (driver-side orchestration).
+  void on_pe(int pe, std::function<void()> fn, int priority = kDefaultPriority);
+  /// Run `fn` on `pe` after `dt` virtual seconds (not counted by QD).
+  void after(int pe, double dt, std::function<void()> fn);
+
+  /// Invoke `cb` once no runtime messages remain in flight.
+  void start_quiescence(Callback cb);
+
+  /// Stop the machine; Machine::run() returns.
+  void exit() { machine_.stop(); }
+
+  /// Marks a PE failed: its elements are dropped by the FT recovery protocol
+  /// and messages to it are discarded (counted, so QD still converges).
+  void set_pe_dead(int pe, bool dead);
+  bool pe_dead(int pe) const { return dead_.at(static_cast<std::size_t>(pe)); }
+
+  /// The element whose handler is currently executing (null outside).
+  ArrayElementBase* current_element() const { return exec_elem_; }
+
+  LbManager& lb() { return *lb_; }
+
+  // ---- statistics ------------------------------------------------------------
+
+  std::uint64_t messages_sent() const { return msgs_sent_; }
+  std::uint64_t bytes_sent() const { return bytes_sent_; }
+  std::uint64_t forwards() const { return forwards_; }
+  std::int64_t outstanding() const { return outstanding_; }
+
+  /// Modeled critical-path latency of a PE-tree wave (reductions, QD).
+  double tree_wave_latency() const;
+
+  // ---- internals used by sibling modules (lb/ft/tram) -------------------------
+
+  /// Sends a counted control message executing `fn` on `dst`.
+  void send_control(int dst, std::size_t bytes, std::function<void()> fn,
+                    int priority = kDefaultPriority);
+
+  /// Immediately performs the pack/send/install migration protocol; must be
+  /// called from a handler on the owning PE (not the element's own handler —
+  /// use migrate() for that).
+  void perform_migration(CollectionId col, ObjIndex idx, int to_pe);
+
+  /// Invoke an entry on a *local* element inline (broadcast delivery, TRAM).
+  void deliver_local(Collection& c, ArrayElementBase& elem, EntryId ep,
+                     const std::vector<std::byte>& payload);
+
+  /// Removes and returns a local element without any protocol (FT rollback).
+  std::unique_ptr<ArrayElementBase> extract_local(CollectionId col, ObjIndex idx, int pe);
+
+  /// Rebuilds home tables and clears caches from current element placement
+  /// (FT recovery, malleability reconfiguration).  Modeled cost charged via
+  /// `per_record_cost` on each PE... cost is charged by the caller.
+  void rebuild_location_tables();
+
+ private:
+  friend class ArrayElementBase;
+
+  struct QdRequest {
+    Callback cb;
+  };
+
+  void launch_envelope(Envelope env, int dst, bool count = true);
+  void on_envelope(Envelope env);
+  void deliver_here(Envelope env, int pe);
+  void handle_point_miss(Envelope env, int pe);
+  void destroy_local(CollectionId col, ObjIndex idx, int pe);
+  void install_element(CollectionId col, ObjIndex idx,
+                       std::unique_ptr<ArrayElementBase> obj, int pe,
+                       std::uint32_t epoch, bool migrated = false);
+  void broadcast_apply_leg(CollectionId col,
+                           std::shared_ptr<std::function<void(ArrayElementBase&)>> fn,
+                           int priority, int root, int relative_rank);
+  void home_departed(CollectionId col, ObjIndex idx, std::uint32_t epoch);
+  void home_arrived(CollectionId col, ObjIndex idx, int loc, std::uint32_t epoch);
+  void note_message_done();
+  void maybe_fire_quiescence();
+  void complete_reduction(Collection& c, std::uint64_t seq);
+  void broadcast_tree_leg(CollectionId col, EntryId ep,
+                          std::shared_ptr<const std::vector<std::byte>> payload,
+                          int priority, int root, int relative_rank);
+
+  sim::Machine& machine_;
+  RuntimeConfig cfg_;
+  std::vector<std::unique_ptr<Collection>> collections_;
+  std::vector<bool> dead_;
+  int active_pes_;
+
+  ArrayElementBase* exec_elem_ = nullptr;
+  bool exec_destroy_requested_ = false;
+  int exec_migrate_to_ = kInvalidPe;
+
+  std::int64_t outstanding_ = 0;
+  std::vector<QdRequest> qd_requests_;
+
+  std::uint64_t msgs_sent_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+  std::uint64_t forwards_ = 0;
+
+  std::unique_ptr<LbManager> lb_;
+
+  static Runtime* current_;
+};
+
+// ---- free-function conveniences ----------------------------------------------
+
+inline Runtime& runtime() { return Runtime::current(); }
+inline int my_pe() { return Runtime::current().my_pe(); }
+inline Time now() { return Runtime::current().now(); }
+inline void charge(double seconds) { Runtime::current().charge(seconds); }
+
+}  // namespace charm

@@ -1,0 +1,21 @@
+#pragma once
+// Shared identifier types for the charmlike runtime.
+
+#include <cstdint>
+
+namespace charm {
+
+using CollectionId = int;  ///< chare array / group instance
+using ChareTypeId = int;   ///< C++ chare class
+using EntryId = int;       ///< entry method (remotely invocable member fn)
+using CreatorId = int;     ///< registered (chare type, ctor-arg) factory
+using Time = double;       ///< virtual seconds
+
+constexpr int kInvalidPe = -1;
+
+/// Message priority: lower values are scheduled first on a busy PE.
+constexpr int kDefaultPriority = 0;
+constexpr int kHighPriority = -10;
+constexpr int kLowPriority = 10;
+
+}  // namespace charm

@@ -1,0 +1,19 @@
+#include "sim/event_queue.hpp"
+
+#include <utility>
+
+namespace sim {
+
+Event EventQueue::pop() {
+  // std::priority_queue::top() returns a const reference; the element is
+  // moved out via const_cast, which is safe because it is popped immediately.
+  Event e = std::move(const_cast<Event&>(heap_.top()));
+  heap_.pop();
+  return e;
+}
+
+void EventQueue::clear() {
+  while (!heap_.empty()) heap_.pop();
+}
+
+}  // namespace sim

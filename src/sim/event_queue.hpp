@@ -1,0 +1,52 @@
+#pragma once
+// Global future-event list for the machine emulator: a min-heap over
+// (time, seq).  The seq tie-break makes the whole simulation deterministic.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace sim {
+
+using Time = double;
+using Handler = std::function<void()>;
+
+struct Event {
+  enum class Kind : std::uint8_t { kArrive, kExec };
+
+  Time time = 0;
+  std::uint64_t seq = 0;
+  Kind kind = Kind::kArrive;
+  int pe = 0;
+  int priority = 0;        // message priority (lower runs first); kArrive only
+  std::size_t bytes = 0;   // payload size; kArrive only
+  Handler fn;              // kArrive only
+};
+
+class EventQueue {
+ public:
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  void push(Event e) { heap_.push(std::move(e)); }
+
+  /// Pops the earliest event (ties broken by insertion order).
+  Event pop();
+
+  const Event& top() const { return heap_.top(); }
+
+  void clear();
+
+ private:
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+};
+
+}  // namespace sim

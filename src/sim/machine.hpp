@@ -1,0 +1,152 @@
+#pragma once
+// The emulated parallel machine: P virtual PEs with virtual clocks, a global
+// deterministic event list, per-PE prioritized ready queues, and an
+// alpha/beta/per-hop network model over a 3-D torus.
+//
+// Execution model:
+//   * A *message* is an opaque handler plus a payload size and a priority.
+//   * Delivery: the message departs its source when the sending handler has
+//     accumulated that much virtual work, transits the network
+//     (latency + bytes/bandwidth + hops * per_hop), then waits in the
+//     destination PE's priority queue until the PE is free.
+//   * Handlers advance their PE's clock by calling charge(seconds); charges
+//     are divided by the PE's current frequency scale, which is how DVFS,
+//     cloud heterogeneity, and interference enter the model.
+//
+// The emulator is sequential and fully deterministic (see DESIGN.md §1 for
+// why this substitution preserves the paper's scaling behaviour).
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/network.hpp"
+#include "sim/topology.hpp"
+
+namespace sim {
+
+struct MachineConfig {
+  int npes = 1;
+  NetworkParams net{};
+  int pes_per_chip = 4;  ///< grouping used by the power/thermal module
+};
+
+/// One emulated processing element.
+class Pe {
+ public:
+  Time clock() const { return clock_; }
+  /// Frequency scale: 1.0 = nominal.  Charged work is divided by this.
+  double freq() const { return freq_; }
+  void set_freq(double f) { freq_ = f; }
+  /// Cumulative busy virtual time (for utilization/efficiency accounting).
+  double busy_time() const { return busy_; }
+  std::uint64_t executed() const { return executed_; }
+  std::size_t queue_length() const { return ready_.size(); }
+
+ private:
+  friend class Machine;
+
+  struct ReadyMsg {
+    int priority;
+    Time arrival;
+    std::uint64_t seq;
+    std::size_t bytes;
+    Handler fn;
+  };
+  struct LowerPriorityFirst {
+    bool operator()(const ReadyMsg& a, const ReadyMsg& b) const {
+      if (a.priority != b.priority) return a.priority > b.priority;
+      if (a.arrival != b.arrival) return a.arrival > b.arrival;
+      return a.seq > b.seq;
+    }
+  };
+
+  Time clock_ = 0;
+  double freq_ = 1.0;
+  double busy_ = 0;
+  std::uint64_t executed_ = 0;
+  bool exec_pending_ = false;
+  std::priority_queue<ReadyMsg, std::vector<ReadyMsg>, LowerPriorityFirst> ready_;
+};
+
+class Machine {
+ public:
+  explicit Machine(MachineConfig cfg);
+
+  int npes() const { return static_cast<int>(pes_.size()); }
+  Pe& pe(int i) { return pes_.at(static_cast<std::size_t>(i)); }
+  const Pe& pe(int i) const { return pes_.at(static_cast<std::size_t>(i)); }
+  const Torus3D& topology() const { return topo_; }
+  const NetworkModel& network() const { return net_; }
+  const MachineConfig& config() const { return cfg_; }
+
+  // ---- handler-context API -------------------------------------------------
+
+  /// True while a handler is executing.
+  bool in_handler() const { return ctx_.pe >= 0; }
+  /// PE whose handler is currently executing (-1 outside handlers).
+  int current_pe() const { return ctx_.pe; }
+  /// Current virtual time: handler start + accumulated charges, or the global
+  /// event time outside handlers.
+  Time now() const { return in_handler() ? ctx_.start + ctx_.elapsed : time_; }
+
+  /// Advance the executing PE's clock by `seconds` of nominal-frequency work.
+  void charge(double seconds);
+
+  /// Virtual time accumulated so far by the executing handler (0 outside).
+  double handler_elapsed() const { return ctx_.elapsed; }
+
+  /// Send a message from the executing PE (or, outside a handler, inject at
+  /// the current global time from `src_override`).  Lower priority values are
+  /// scheduled first at the destination.
+  void send(int dst, std::size_t bytes, int priority, Handler fn,
+            int src_override = -1);
+
+  /// Deliver `fn` to `pe` at absolute virtual time `at` (timer/bootstrap).
+  void post(int pe, Time at, Handler fn, int priority = 0);
+
+  // ---- control ---------------------------------------------------------
+
+  /// Process events until the queue drains or stop() is called.
+  void run();
+  /// Process at most one event; returns false when nothing remains.
+  bool step();
+  void stop() { stopped_ = true; }
+  bool stopped() const { return stopped_; }
+  /// Resets the stop flag so the machine can be driven again (phased runs).
+  void resume() { stopped_ = false; }
+
+  /// Global simulation time (time of the most recent event).
+  Time time() const { return time_; }
+  std::uint64_t events_processed() const { return events_processed_; }
+  std::size_t pending_events() const { return queue_.size(); }
+
+  /// Max over PE clocks — "makespan" of everything executed so far.
+  Time max_pe_clock() const;
+
+ private:
+  struct ExecCtx {
+    int pe = -1;
+    Time start = 0;
+    double elapsed = 0;
+  };
+
+  void schedule_exec(int pe, Time not_before);
+  std::uint64_t next_seq() { return seq_++; }
+
+  MachineConfig cfg_;
+  Torus3D topo_;
+  NetworkModel net_;
+  std::vector<Pe> pes_;
+  EventQueue queue_;
+  ExecCtx ctx_;
+  Time time_ = 0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t events_processed_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace sim

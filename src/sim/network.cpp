@@ -1,0 +1,53 @@
+#include "sim/network.hpp"
+
+namespace sim {
+
+NetworkParams NetworkParams::bluegene_q() {
+  NetworkParams p;
+  p.alpha_send = 0.5e-6;
+  p.alpha_recv = 0.5e-6;
+  p.latency = 1.0e-6;
+  p.bandwidth = 1.8e9;
+  p.per_hop = 40e-9;
+  return p;
+}
+
+NetworkParams NetworkParams::cray_gemini() {
+  NetworkParams p;
+  p.alpha_send = 0.4e-6;
+  p.alpha_recv = 0.4e-6;
+  p.latency = 1.4e-6;
+  p.bandwidth = 5.0e9;
+  p.per_hop = 60e-9;
+  return p;
+}
+
+NetworkParams NetworkParams::cray_seastar() {
+  NetworkParams p;
+  p.alpha_send = 0.8e-6;
+  p.alpha_recv = 0.8e-6;
+  p.latency = 4.0e-6;
+  p.bandwidth = 1.6e9;
+  p.per_hop = 120e-9;
+  return p;
+}
+
+NetworkParams NetworkParams::cloud_ethernet() {
+  NetworkParams p;
+  p.alpha_send = 4.0e-6;
+  p.alpha_recv = 4.0e-6;
+  p.latency = 40e-6;
+  p.bandwidth = 0.12e9;
+  p.per_hop = 0;
+  p.use_topology = false;
+  return p;
+}
+
+double NetworkModel::transit_time(int src, int dst, std::size_t bytes) const {
+  if (src == dst) return params_.self_overhead;
+  double t = params_.latency + static_cast<double>(bytes) / params_.bandwidth;
+  if (params_.use_topology) t += params_.per_hop * topo_->hops(src, dst);
+  return t;
+}
+
+}  // namespace sim

@@ -1,0 +1,75 @@
+#pragma once
+// Deterministic, puppable random number generation.  Every stochastic actor
+// (chare, LP, workload generator) owns its own stream seeded from a stable
+// identity, so results are independent of PE count and message ordering.
+
+#include <cmath>
+#include <cstdint>
+
+#include "pup/pup.hpp"
+
+namespace sim {
+
+/// splitmix64-based generator: tiny state (one u64), good quality for
+/// workload generation, trivially puppable for migration/checkpoint.
+class Rng {
+ public:
+  Rng() = default;
+  explicit Rng(std::uint64_t seed) : state_(seed * 0x9E3779B97F4A7C15ull + 1) {}
+
+  std::uint64_t next_u64() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Uniform integer in [0, n).
+  std::uint64_t next_below(std::uint64_t n) { return n ? next_u64() % n : 0; }
+
+  /// Exponential with the given mean (> 0).
+  double next_exponential(double mean);
+
+  /// Standard normal via Box-Muller (one value per call, no caching so the
+  /// state stays a single u64).
+  double next_normal();
+
+  void pup(pup::Er& p) { p | state_; }
+
+ private:
+  std::uint64_t state_ = 0x853C49E6748FEA9Bull;
+};
+
+inline double Rng::next_exponential(double mean) {
+  double u;
+  do {
+    u = next_double();
+  } while (u <= 0.0);
+  return -mean * std::log(u);
+}
+
+inline double Rng::next_normal() {
+  double u1;
+  do {
+    u1 = next_double();
+  } while (u1 <= 0.0);
+  double u2 = next_double();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+}
+
+/// Stable per-object seed derivation.
+inline std::uint64_t derive_seed(std::uint64_t base, std::uint64_t a, std::uint64_t b = 0) {
+  std::uint64_t h = base ^ 0xD6E8FEB86659FD93ull;
+  h ^= a + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+  h *= 0xFF51AFD7ED558CCDull;
+  h ^= b + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+  h *= 0xC4CEB9FE1A85EC53ull;
+  return h ^ (h >> 33);
+}
+
+}  // namespace sim

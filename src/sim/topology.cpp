@@ -1,0 +1,79 @@
+#include "sim/topology.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace sim {
+
+namespace {
+// Factor n into three near-equal dims (dx >= dy >= dz, dx*dy*dz == n).
+std::array<int, 3> factor3(int n) {
+  std::array<int, 3> best = {n, 1, 1};
+  double best_score = 1e300;
+  for (int a = 1; a * a * a <= n * 4; ++a) {
+    if (n % a != 0) continue;
+    int rem = n / a;
+    for (int b = a; b * b <= rem * 2; ++b) {
+      if (rem % b != 0) continue;
+      int c = rem / b;
+      // Prefer balanced factors: minimize surface-to-volume-ish metric.
+      double score = static_cast<double>(a) * a + static_cast<double>(b) * b +
+                     static_cast<double>(c) * c;
+      if (score < best_score) {
+        best_score = score;
+        best = {c, b, a};
+      }
+    }
+  }
+  return best;
+}
+}  // namespace
+
+Torus3D::Torus3D(int npes) : npes_(npes), dims_(factor3(npes)) {
+  if (npes <= 0) throw std::invalid_argument("Torus3D: npes must be positive");
+}
+
+std::array<int, 3> Torus3D::coords(int pe) const {
+  const auto& d = dims_;
+  return {pe % d[0], (pe / d[0]) % d[1], pe / (d[0] * d[1])};
+}
+
+int Torus3D::pe_at(const std::array<int, 3>& c) const {
+  return c[0] + dims_[0] * (c[1] + dims_[1] * c[2]);
+}
+
+int Torus3D::torus_dist(int a, int b, int extent) const {
+  int d = std::abs(a - b);
+  return d <= extent - d ? d : extent - d;
+}
+
+int Torus3D::hops(int src, int dst) const {
+  if (src == dst) return 0;
+  auto cs = coords(src);
+  auto cd = coords(dst);
+  int h = 0;
+  for (int i = 0; i < 3; ++i) h += torus_dist(cs[i], cd[i], dims_[i]);
+  return h;
+}
+
+int Torus3D::first_differing_dim(int src, int dst) const {
+  auto cs = coords(src);
+  auto cd = coords(dst);
+  for (int i = 0; i < 3; ++i)
+    if (cs[i] != cd[i]) return i;
+  return -1;
+}
+
+int Torus3D::next_on_route(int src, int dst) const {
+  // TRAM-style dimension-ordered routing: travel the lowest differing
+  // dimension all the way to dst's coordinate in that dimension.  The result
+  // is a *peer* of src (differs in exactly one dimension).
+  int dim = first_differing_dim(src, dst);
+  if (dim < 0) return dst;
+  auto c = coords(src);
+  c[dim] = coords(dst)[dim];
+  return pe_at(c);
+}
+
+}  // namespace sim

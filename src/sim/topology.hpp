@@ -1,0 +1,42 @@
+#pragma once
+// 3-D torus topology over the emulated machine's PEs.
+//
+// Used by the network model (per-hop latency) and by TRAM (dimension-ordered
+// routing and peer sets).  The PE count is factored into near-cubic dims.
+
+#include <array>
+#include <cstdint>
+
+namespace sim {
+
+class Torus3D {
+ public:
+  explicit Torus3D(int npes);
+
+  int npes() const { return npes_; }
+  const std::array<int, 3>& dims() const { return dims_; }
+
+  std::array<int, 3> coords(int pe) const;
+  int pe_at(const std::array<int, 3>& c) const;
+
+  /// Minimal hop count between two PEs on the torus.
+  int hops(int src, int dst) const;
+
+  /// Next PE on the dimension-ordered minimal route from `src` toward `dst`
+  /// (differs from `src` in exactly one dimension).  Returns `dst` when the
+  /// remaining route is a single hop or the PEs are torus-adjacent in the
+  /// lowest differing dimension.
+  int next_on_route(int src, int dst) const;
+
+  /// First dimension (0..2) in which the coordinates of src and dst differ,
+  /// or -1 if src == dst.
+  int first_differing_dim(int src, int dst) const;
+
+ private:
+  int torus_dist(int a, int b, int extent) const;
+
+  int npes_;
+  std::array<int, 3> dims_;
+};
+
+}  // namespace sim

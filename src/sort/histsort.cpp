@@ -1,0 +1,219 @@
+// Histogram sort implementation plus the shared Sorter/Library machinery.
+
+#include <algorithm>
+#include <cmath>
+
+#include "sort/sorting.hpp"
+
+namespace charm::sortlib {
+
+using detail::SortState;
+
+// ---- Sorter entries --------------------------------------------------------------
+
+void Sorter::local_sort(const StartMsg&) {
+  const double n = static_cast<double>(keys.size());
+  std::sort(keys.begin(), keys.end());
+  charm::charge(state_->params.cmp_cost * n * std::max(1.0, std::log2(std::max(2.0, n))));
+  // Report local extrema and count: {min, -max, n} under elementwise kMin.
+  const double mn = keys.empty() ? 9e15 : static_cast<double>(keys.front());
+  const double mx = keys.empty() ? 0 : static_cast<double>(keys.back());
+  contribute(std::vector<double>{mn, -mx, -n}, ReduceOp::kMin, state_->done_internal);
+}
+
+void Sorter::count(const SplitterMsg& m) {
+  // Bucket counts via binary search per splitter boundary.
+  std::vector<double> counts(m.splitters.size() + 1, 0.0);
+  std::size_t prev = 0;
+  for (std::size_t s = 0; s < m.splitters.size(); ++s) {
+    const auto it = std::upper_bound(keys.begin(), keys.end(), m.splitters[s]);
+    const auto pos = static_cast<std::size_t>(it - keys.begin());
+    counts[s] = static_cast<double>(pos - prev);
+    prev = pos;
+  }
+  counts[m.splitters.size()] = static_cast<double>(keys.size() - prev);
+  charm::charge(state_->params.cmp_cost * static_cast<double>(m.splitters.size()) *
+                std::max(1.0, std::log2(std::max(2.0, static_cast<double>(keys.size())))));
+  contribute(counts, ReduceOp::kSum, state_->done_internal);
+}
+
+void Sorter::exchange(const SplitterMsg& m) {
+  const int P = state_->npes;
+  auto proxy = state_->proxy();
+  exchange_sent_ = true;
+  std::size_t prev = 0;
+  for (int dest = 0; dest < P; ++dest) {
+    std::size_t end;
+    if (dest < P - 1) {
+      const auto it = std::upper_bound(keys.begin(), keys.end(),
+                                       m.splitters[static_cast<std::size_t>(dest)]);
+      end = static_cast<std::size_t>(it - keys.begin());
+    } else {
+      end = keys.size();
+    }
+    end = std::max(end, prev);  // splitters are clamped monotone, belt+braces
+    KeysMsg chunk;
+    chunk.from = my_pe();
+    chunk.keys.assign(keys.begin() + static_cast<std::ptrdiff_t>(prev),
+                      keys.begin() + static_cast<std::ptrdiff_t>(end));
+    prev = end;
+    proxy.on(dest).send<&Sorter::accept>(chunk);
+  }
+  keys.clear();
+}
+
+void Sorter::accept(const KeysMsg& m) {
+  incoming_.push_back(m.keys);
+  ++chunks_received_;
+  finish_exchange_if_done();
+}
+
+void Sorter::finish_exchange_if_done() {
+  // Chunks from fast senders may land before our own exchange() broadcast
+  // leg; wait for both.
+  if (!exchange_sent_ || chunks_received_ < state_->npes) return;
+  chunks_received_ = 0;
+  exchange_sent_ = false;
+  // k-way merge of sorted runs (runs arrive sorted because senders were).
+  std::size_t total = 0;
+  for (const auto& run : incoming_) total += run.size();
+  keys.clear();
+  keys.reserve(total);
+  for (const auto& run : incoming_) keys.insert(keys.end(), run.begin(), run.end());
+  incoming_.clear();
+  std::sort(keys.begin(), keys.end());  // stand-in for the k-way merge
+  charm::charge(state_->params.cmp_cost * static_cast<double>(total) *
+                std::max(1.0, std::log2(static_cast<double>(std::max(2, state_->npes)))));
+  contribute(state_->done_internal);
+}
+
+// ---- Library / histsort driver ----------------------------------------------------
+
+Library::Library(Runtime& rt, SortParams params)
+    : rt_(rt), state_(std::make_shared<SortState>()) {
+  state_->params = params;
+  state_->npes = rt.npes();
+  auto st = state_;
+  proxy_ = GroupProxy<Sorter>::create(rt, [st](int) { return std::make_unique<Sorter>(st); });
+  state_->col = proxy_.id();
+}
+
+void Library::fill_random(std::uint64_t seed, std::size_t keys_per_pe) {
+  for (int pe = 0; pe < rt_.npes(); ++pe) {
+    auto* s = static_cast<Sorter*>(
+        rt_.collection(proxy_.id()).find(pe, IndexTraits<std::int32_t>::encode(pe)));
+    sim::Rng rng(sim::derive_seed(seed, static_cast<std::uint64_t>(pe)));
+    s->keys.resize(keys_per_pe);
+    for (auto& k : s->keys) k = rng.next_u64() & ((1ull << 48) - 1);
+  }
+}
+
+const std::vector<std::uint64_t>& Library::keys_on(int pe) const {
+  auto* s = static_cast<Sorter*>(
+      rt_.collection(proxy_.id()).find(pe, IndexTraits<std::int32_t>::encode(pe)));
+  return s->keys;
+}
+
+std::uint64_t Library::total_keys() const {
+  std::uint64_t n = 0;
+  for (int pe = 0; pe < rt_.npes(); ++pe) n += keys_on(pe).size();
+  return n;
+}
+
+bool Library::validate() const {
+  std::uint64_t prev = 0;
+  for (int pe = 0; pe < rt_.npes(); ++pe) {
+    for (std::uint64_t k : keys_on(pe)) {
+      if (k < prev) return false;
+      prev = k;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+void refine_and_continue(std::shared_ptr<SortState> st,
+                         const std::vector<double>& counts);
+
+void start_probing(std::shared_ptr<SortState> st, double key_min, double key_max) {
+  const int P = st->npes;
+  st->splitters.resize(static_cast<std::size_t>(P - 1));
+  st->lo.assign(static_cast<std::size_t>(P - 1), static_cast<std::uint64_t>(key_min));
+  st->hi.assign(static_cast<std::size_t>(P - 1), static_cast<std::uint64_t>(key_max) + 1);
+  for (int s = 0; s < P - 1; ++s) {
+    st->splitters[static_cast<std::size_t>(s)] = static_cast<std::uint64_t>(
+        key_min + (key_max - key_min) * (s + 1) / static_cast<double>(P));
+  }
+  st->rounds_left = st->params.probe_rounds;
+  // Issue the first histogram probe.
+  st->done_internal = Callback::to_function([st](ReductionResult&& r) {
+    refine_and_continue(st, r.nums);
+  });
+  st->proxy().broadcast<&Sorter::count>(SplitterMsg{st->splitters});
+}
+
+void begin_exchange(std::shared_ptr<SortState> st) {
+  // Barrier contribution from every PE's merge completes the sort.
+  st->done_internal = Callback::to_function([st](ReductionResult&&) {
+    st->done.invoke(Runtime::current(), ReductionResult{});
+  });
+  st->proxy().broadcast<&Sorter::exchange>(SplitterMsg{st->splitters});
+}
+
+void refine_and_continue(std::shared_ptr<SortState> st,
+                         const std::vector<double>& counts) {
+  // Root-side refinement: adjust each splitter toward its ideal cumulative
+  // rank by bisecting its bracket.
+  Runtime::current().charge(1e-6 + 0.2e-6 * static_cast<double>(counts.size()));
+  const int P = st->npes;
+  double total = 0;
+  for (double c : counts) total += c;
+  st->total_keys = total;
+
+  double cum = 0;
+  std::vector<double> cum_at(static_cast<std::size_t>(P - 1), 0);
+  for (int s = 0; s < P - 1; ++s) {
+    cum += counts[static_cast<std::size_t>(s)];
+    cum_at[static_cast<std::size_t>(s)] = cum;
+  }
+  --st->rounds_left;
+  if (st->rounds_left <= 0) {
+    begin_exchange(st);
+    return;
+  }
+  for (int s = 0; s < P - 1; ++s) {
+    const double ideal = total * (s + 1) / static_cast<double>(P);
+    auto& sp = st->splitters[static_cast<std::size_t>(s)];
+    auto& lo = st->lo[static_cast<std::size_t>(s)];
+    auto& hi = st->hi[static_cast<std::size_t>(s)];
+    if (cum_at[static_cast<std::size_t>(s)] < ideal) {
+      lo = sp;
+    } else {
+      hi = sp;
+    }
+    sp = lo + (hi - lo) / 2;
+  }
+  // Independent bisection brackets can momentarily cross; keep the splitter
+  // vector monotone so bucket boundaries stay well-formed.
+  for (std::size_t s2 = 1; s2 < st->splitters.size(); ++s2)
+    st->splitters[s2] = std::max(st->splitters[s2], st->splitters[s2 - 1]);
+  st->done_internal = Callback::to_function([st](ReductionResult&& r) {
+    refine_and_continue(st, r.nums);
+  });
+  st->proxy().broadcast<&Sorter::count>(SplitterMsg{st->splitters});
+}
+
+}  // namespace
+
+void Library::hist_sort(Callback done) {
+  auto st = state_;
+  st->done = std::move(done);
+  st->done_internal = Callback::to_function([st](ReductionResult&& r) {
+    // r = {min, -max, -count} under kMin.
+    start_probing(st, r.num(0), -r.num(1));
+  });
+  proxy_.broadcast<&Sorter::local_sort>(StartMsg{});
+}
+
+}  // namespace charm::sortlib

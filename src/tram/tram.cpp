@@ -1,0 +1,122 @@
+#include "tram/tram.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace charm::tram {
+
+Core::Core(Runtime& rt, CollectionId target, Params params)
+    : rt_(rt),
+      col_(target),
+      params_(params),
+      pes_(static_cast<std::size_t>(rt.npes())) {}
+
+void Core::insert(const ObjIndex& dest_idx, EntryId ep, std::vector<std::byte> payload) {
+  const int pe = rt_.machine().current_pe();
+  Collection& c = rt_.collection(col_);
+
+  Item item;
+  item.idx = dest_idx;
+  item.ep = ep;
+  item.payload = std::move(payload);
+  // Destination PE from the sender's location knowledge: local table, cache,
+  // home record (when this PE is the home), else the home PE.
+  const auto& cache = c.local(pe).loc_cache;
+  auto it = cache.find(dest_idx);
+  if (c.find(pe, dest_idx) != nullptr) {
+    item.dest_pe = pe;
+  } else if (it != cache.end()) {
+    item.dest_pe = it->second;
+  } else {
+    item.dest_pe = rt_.home_pe(dest_idx);
+    if (item.dest_pe == pe) {
+      auto hit = c.local(pe).home.find(dest_idx);
+      if (hit != c.local(pe).home.end() && hit->second.location != kInvalidPe)
+        item.dest_pe = hit->second.location;
+    }
+  }
+  ++items_;
+  insert_on(pe, std::move(item), /*flush_through=*/false);
+}
+
+void Core::insert_on(int pe, Item item, bool flush_through) {
+  if (item.dest_pe == pe) {
+    Collection& c = rt_.collection(col_);
+    ArrayElementBase* elem = c.find(pe, item.idx);
+    rt_.charge(rt_.config().deliver_cost);
+    if (elem != nullptr) {
+      rt_.deliver_local(c, *elem, item.ep, item.payload);
+      return;
+    }
+    // The element is not here.  Consult the local location knowledge the way
+    // the runtime's own delivery path would: the home table (if this PE is
+    // the home) or the location cache — and keep the item on the aggregated
+    // path toward the real owner.
+    int better = kInvalidPe;
+    if (rt_.home_pe(item.idx) == pe) {
+      auto it = c.local(pe).home.find(item.idx);
+      if (it != c.local(pe).home.end() && !it->second.in_transit &&
+          it->second.location != kInvalidPe && it->second.location != pe) {
+        better = it->second.location;
+      }
+    } else {
+      auto it = c.local(pe).loc_cache.find(item.idx);
+      if (it != c.local(pe).loc_cache.end() && it->second != pe) better = it->second;
+      if (better == kInvalidPe) better = rt_.home_pe(item.idx);
+    }
+    if (better != kInvalidPe && better != pe) {
+      item.dest_pe = better;
+      insert_on(pe, std::move(item), flush_through);
+      return;
+    }
+    // Mid-migration or unknown: hand over to the point-send protocol, which
+    // buffers at the home until the element lands.
+    rt_.send_point(col_, item.idx, item.ep, std::move(item.payload));
+    return;
+  }
+  const int peer = rt_.machine().topology().next_on_route(pe, item.dest_pe);
+  auto& buf = pes_[static_cast<std::size_t>(pe)].buffers[peer];
+  buf.push_back(std::move(item));
+  if (buf.size() >= params_.buffer_items) flush_buffer(pe, peer, flush_through);
+}
+
+void Core::flush_buffer(int pe, int peer, bool flush_through) {
+  auto& state = pes_[static_cast<std::size_t>(pe)];
+  auto it = state.buffers.find(peer);
+  if (it == state.buffers.end() || it->second.empty()) return;
+  auto items = std::make_shared<std::vector<Item>>(std::move(it->second));
+  state.buffers.erase(it);
+
+  std::size_t bytes = 0;
+  for (const Item& i : *items) bytes += i.payload.size() + params_.item_overhead;
+  ++batches_;
+  routed_items_ += items->size();
+
+  rt_.send_control(peer, bytes, [this, peer, items, flush_through]() {
+    deliver_batch(peer, items, flush_through);
+  });
+}
+
+void Core::deliver_batch(int pe, std::shared_ptr<std::vector<Item>> items,
+                         bool flush_through) {
+  for (Item& item : *items) insert_on(pe, std::move(item), flush_through);
+  if (flush_through) flush_pe(pe, /*flush_through=*/true);
+}
+
+void Core::flush_pe(int pe, bool flush_through) {
+  auto& state = pes_[static_cast<std::size_t>(pe)];
+  std::vector<int> peers;
+  peers.reserve(state.buffers.size());
+  for (const auto& [peer, buf] : state.buffers)
+    if (!buf.empty()) peers.push_back(peer);
+  std::sort(peers.begin(), peers.end());  // deterministic flush order
+  for (int peer : peers) flush_buffer(pe, peer, flush_through);
+}
+
+void Core::flush_all() {
+  for (int pe = 0; pe < rt_.npes(); ++pe) {
+    rt_.send_control(pe, 16, [this, pe]() { flush_pe(pe, /*flush_through=*/true); });
+  }
+}
+
+}  // namespace charm::tram

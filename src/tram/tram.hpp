@@ -1,0 +1,102 @@
+#pragma once
+// TRAM: Topological Routing and Aggregation Module (§III-F, Fig 15b).
+//
+// Fine-grained messages (data items) destined for chare array elements are
+// buffered per *peer* — any PE reachable by traveling along a single
+// dimension of the machine's torus — and shipped as one combined message when
+// a buffer fills.  Items whose destination is not a peer are routed through
+// intermediate peers dimension by dimension, so buffer space is
+// O(peers) = O(sum of dims), not O(P), and items with different destinations
+// share sub-paths.
+//
+// Typed facade:
+//   charm::tram::Stream<&Lp::recv_event> stream(rt, lps, {.buffer_items=64});
+//   stream.send(dest_index, event);            // from any handler
+//   stream.flush_all();                        // end of phase (then QD)
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/proxy.hpp"
+#include "runtime/runtime.hpp"
+
+namespace charm::tram {
+
+struct Params {
+  std::size_t buffer_items = 64;  ///< flush threshold per peer buffer
+  std::size_t item_overhead = 8;  ///< modeled per-item framing bytes
+};
+
+/// Type-erased aggregation core (one per stream, state partitioned per PE).
+class Core {
+ public:
+  Core(Runtime& rt, CollectionId target, Params params);
+
+  /// Insert an item from the currently executing PE.
+  void insert(const ObjIndex& dest_idx, EntryId ep, std::vector<std::byte> payload);
+
+  /// Flush every buffer on every PE and cascade through intermediate hops
+  /// (phase end).  Completion is observable via Runtime::start_quiescence.
+  void flush_all();
+
+  std::uint64_t items_inserted() const { return items_; }
+  std::uint64_t batches_sent() const { return batches_; }
+  /// Mean items per batch — the aggregation factor TRAM achieves.
+  double aggregation() const {
+    return batches_ ? static_cast<double>(routed_items_) / static_cast<double>(batches_) : 0.0;
+  }
+
+ private:
+  struct Item {
+    ObjIndex idx{};
+    EntryId ep = -1;
+    int dest_pe = 0;
+    std::vector<std::byte> payload;
+  };
+  struct PeState {
+    std::unordered_map<int, std::vector<Item>> buffers;  // keyed by peer PE
+  };
+
+  void insert_on(int pe, Item item, bool flush_through);
+  void flush_buffer(int pe, int peer, bool flush_through);
+  void flush_pe(int pe, bool flush_through);
+  void deliver_batch(int pe, std::shared_ptr<std::vector<Item>> items, bool flush_through);
+
+  Runtime& rt_;
+  CollectionId col_;
+  Params params_;
+  std::vector<PeState> pes_;
+  std::uint64_t items_ = 0;
+  std::uint64_t routed_items_ = 0;
+  std::uint64_t batches_ = 0;
+};
+
+/// Typed stream bound to one entry method of a chare array.
+template <auto Mfp>
+class Stream {
+  using Traits = detail::MfpTraits<decltype(Mfp)>;
+
+ public:
+  using Element = typename Traits::Chare;
+  using Item = typename Traits::Argument;
+
+  template <class Ix>
+  Stream(Runtime& rt, const ArrayProxy<Element, Ix>& target, Params params = {})
+      : core_(std::make_shared<Core>(rt, target.id(), params)) {}
+
+  template <class Ix>
+  void send(const Ix& dest, const Item& item) const {
+    core_->insert(IndexTraits<Ix>::encode(dest), Registry::entry_of<Mfp>(),
+                  pup::to_bytes(const_cast<Item&>(item)));
+  }
+
+  void flush_all() const { core_->flush_all(); }
+  const Core& core() const { return *core_; }
+
+ private:
+  std::shared_ptr<Core> core_;
+};
+
+}  // namespace charm::tram

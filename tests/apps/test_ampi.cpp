@@ -1,0 +1,218 @@
+// AMPI tests: rank launch, blocking send/recv, wildcards, collectives,
+// virtualization, migration via MPI_Migrate, and the cache cost model.
+
+#include <gtest/gtest.h>
+
+#include "ampi/ampi.hpp"
+
+namespace {
+
+using namespace charm;
+using ampi::Comm;
+
+struct Harness {
+  sim::Machine machine;
+  charm::Runtime rt;
+  explicit Harness(int npes) : machine(sim::MachineConfig{npes, {}, 4}), rt(machine) {}
+};
+
+TEST(Ampi, AllRanksRunAndComplete) {
+  Harness h(4);
+  int done_count = 0;
+  bool completed = false;
+  ampi::World world(h.rt, 16, [&](Comm& comm) {
+    comm.charge(1e-6);
+    ++done_count;
+  });
+  h.rt.on_pe(0, [&] {
+    world.start(Callback::to_function([&](ReductionResult&&) { completed = true; }));
+  });
+  h.machine.run();
+  EXPECT_TRUE(completed);
+  EXPECT_EQ(done_count, 16);
+}
+
+TEST(Ampi, BlockingSendRecvRoundTrip) {
+  Harness h(2);
+  std::vector<double> received;
+  ampi::World world(h.rt, 2, [&](Comm& comm) {
+    if (comm.rank() == 0) {
+      std::vector<double> payload{1.0, 2.0, 3.0};
+      comm.send_value(1, /*tag=*/7, payload);
+      // Wait for the echo.
+      auto echoed = comm.recv_value<std::vector<double>>(1, 8);
+      received = echoed;
+    } else {
+      auto v = comm.recv_value<std::vector<double>>(0, 7);
+      for (auto& x : v) x *= 10;
+      comm.send_value(0, 8, v);
+    }
+  });
+  bool completed = false;
+  h.rt.on_pe(0, [&] {
+    world.start(Callback::to_function([&](ReductionResult&&) { completed = true; }));
+  });
+  h.machine.run();
+  ASSERT_TRUE(completed);
+  ASSERT_EQ(received.size(), 3u);
+  EXPECT_EQ(received[2], 30.0);
+}
+
+TEST(Ampi, WildcardRecvAnySource) {
+  Harness h(2);
+  std::vector<int> sources;
+  ampi::World world(h.rt, 4, [&](Comm& comm) {
+    if (comm.rank() == 0) {
+      for (int i = 0; i < 3; ++i) {
+        int src = -1;
+        comm.recv(ampi::kAnySource, 5, &src);
+        sources.push_back(src);
+      }
+    } else {
+      comm.send_value(0, 5, comm.rank());
+    }
+  });
+  bool completed = false;
+  h.rt.on_pe(0, [&] {
+    world.start(Callback::to_function([&](ReductionResult&&) { completed = true; }));
+  });
+  h.machine.run();
+  ASSERT_TRUE(completed);
+  ASSERT_EQ(sources.size(), 3u);
+  std::sort(sources.begin(), sources.end());
+  EXPECT_EQ(sources, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Ampi, RecvBlocksUntilMessageArrives) {
+  Harness h(2);
+  double recv_time = -1, send_time = -1;
+  ampi::World world(h.rt, 2, [&](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.charge(5e-3);  // delay the send by 5ms of compute
+      send_time = comm.now();
+      comm.send_value(1, 0, 42);
+    } else {
+      (void)comm.recv_value<int>(0, 0);
+      recv_time = comm.now();
+    }
+  });
+  h.rt.on_pe(0, [&] { world.start(); });
+  h.machine.run();
+  EXPECT_GE(recv_time, send_time);
+  EXPECT_GE(recv_time, 5e-3);
+}
+
+TEST(Ampi, AllreduceAndBarrier) {
+  Harness h(4);
+  std::vector<double> sums(8, -1), mins(8, -1);
+  ampi::World world(h.rt, 8, [&](Comm& comm) {
+    const double r = static_cast<double>(comm.rank());
+    sums[static_cast<std::size_t>(comm.rank())] = comm.allreduce(r, ReduceOp::kSum);
+    mins[static_cast<std::size_t>(comm.rank())] = comm.allreduce(r + 5, ReduceOp::kMin);
+    comm.barrier();
+  });
+  bool completed = false;
+  h.rt.on_pe(0, [&] {
+    world.start(Callback::to_function([&](ReductionResult&&) { completed = true; }));
+  });
+  h.machine.run();
+  ASSERT_TRUE(completed);
+  for (int r = 0; r < 8; ++r) {
+    EXPECT_EQ(sums[static_cast<std::size_t>(r)], 28.0);
+    EXPECT_EQ(mins[static_cast<std::size_t>(r)], 5.0);
+  }
+}
+
+TEST(Ampi, VirtualizationRunsMoreRanksThanPes) {
+  Harness h(2);
+  int count = 0;
+  ampi::World world(h.rt, 32, [&](Comm& comm) {
+    comm.barrier();
+    comm.charge(1e-6);
+    ++count;
+  });
+  bool completed = false;
+  h.rt.on_pe(0, [&] {
+    world.start(Callback::to_function([&](ReductionResult&&) { completed = true; }));
+  });
+  h.machine.run();
+  ASSERT_TRUE(completed);
+  EXPECT_EQ(count, 32);
+}
+
+TEST(Ampi, MigrateRebalancesRanks) {
+  Harness h(4);
+  // Ranks 0..3 are 8x heavier; all ranks start blocked on PEs.
+  ampi::World world(h.rt, 16, [&](Comm& comm) {
+    for (int iter = 0; iter < 6; ++iter) {
+      comm.charge(comm.rank() < 4 ? 8e-3 : 1e-3);
+      comm.migrate();
+    }
+  });
+  h.rt.lb().set_strategy(lb::make_greedy());
+  h.rt.lb().set_period(2);
+  bool completed = false;
+  h.rt.on_pe(0, [&] {
+    world.start(Callback::to_function([&](ReductionResult&&) { completed = true; }));
+  });
+  h.machine.run();
+  ASSERT_TRUE(completed);
+  // The four heavy ranks started together on PE 0 (blocked mapping); after
+  // balancing they must have spread out.
+  int heavy_on_pe0 = 0;
+  Collection& c = h.rt.collection(world.collection());
+  for (auto& [ix, obj] : c.local(0).elems) {
+    if (IndexTraits<std::int32_t>::decode(ix) < 4) ++heavy_on_pe0;
+  }
+  EXPECT_LE(heavy_on_pe0, 2);
+  EXPECT_GE(h.rt.lb().lb_invocations(), 1);
+}
+
+TEST(Ampi, MigrationImprovesImbalancedMakespan) {
+  auto run = [](bool lb) {
+    Harness h(4);
+    ampi::World world(h.rt, 16, [](Comm& comm) {
+      for (int iter = 0; iter < 8; ++iter) {
+        comm.charge(comm.rank() < 4 ? 8e-3 : 1e-3);
+        comm.migrate();
+      }
+    });
+    if (lb) {
+      h.rt.lb().set_strategy(charm::lb::make_greedy());
+      h.rt.lb().set_period(2);
+    }
+    h.rt.on_pe(0, [&] { world.start(); });
+    h.machine.run();
+    return h.machine.max_pe_clock();
+  };
+  EXPECT_LT(run(true), run(false) * 0.9);
+}
+
+TEST(Ampi, CacheModelPenalizesLargeWorkingSets) {
+  Harness h(1);
+  double t_small = -1, t_big = -1;
+  ampi::Options opts;
+  opts.cache_bytes = 1 << 20;
+  ampi::World world(
+      h.rt, 2,
+      [&](Comm& comm) {
+        const double t0 = comm.now();
+        if (comm.rank() == 0) {
+          comm.charge_kernel(1e-3, /*ws=*/1 << 18);  // fits in cache
+          t_small = comm.now() - t0;
+        } else {
+          comm.charge_kernel(1e-3, /*ws=*/8 << 20);  // 8x the cache
+          t_big = comm.now() - t0;
+        }
+      },
+      opts);
+  ampi::World world2(h.rt, 1, [](Comm&) {});  // ensure multiple worlds coexist
+  h.rt.on_pe(0, [&] {
+    world.start();
+    world2.start();
+  });
+  h.machine.run();
+  EXPECT_GT(t_big, t_small * 1.5);
+}
+
+}  // namespace

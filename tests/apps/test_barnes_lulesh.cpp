@@ -1,0 +1,250 @@
+// Barnes-Hut and LULESH-proxy tests.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "miniapps/barnes/barnes.hpp"
+#include "miniapps/lulesh/lulesh.hpp"
+
+namespace {
+
+using namespace charm;
+
+struct Harness {
+  sim::Machine machine;
+  charm::Runtime rt;
+  explicit Harness(int npes) : machine(sim::MachineConfig{npes, {}, 4}), rt(machine) {}
+};
+
+barnes::Params small_barnes() {
+  barnes::Params p;
+  p.pieces_per_dim = 3;
+  p.nparticles = 600;
+  return p;
+}
+
+TEST(Barnes, RunsAndConservesParticleCount) {
+  Harness h(4);
+  barnes::Simulation sim(h.rt, small_barnes());
+  EXPECT_EQ(sim.total_bodies(), 600u);
+  bool done = false;
+  h.rt.on_pe(0, [&] {
+    sim.run(3, Callback::to_function([&](ReductionResult&&) { done = true; }));
+  });
+  h.machine.run();
+  ASSERT_TRUE(done);
+  EXPECT_EQ(sim.total_bodies(), 600u);
+  ASSERT_EQ(sim.phase_times().size(), 3u);
+}
+
+TEST(Barnes, PhaseBreakdownIsMeasured) {
+  Harness h(4);
+  barnes::Simulation sim(h.rt, small_barnes());
+  bool done = false;
+  h.rt.on_pe(0, [&] {
+    sim.run(2, Callback::to_function([&](ReductionResult&&) { done = true; }));
+  });
+  h.machine.run();
+  ASSERT_TRUE(done);
+  for (const auto& t : sim.phase_times()) {
+    EXPECT_GT(t.tb, 0);
+    EXPECT_GT(t.gravity, 0);
+    EXPECT_GT(t.lb, 0);
+    EXPECT_GT(t.gravity, t.tb) << "gravity should dominate tree build";
+    EXPECT_NEAR(t.total, t.dd + t.tb + t.gravity + t.lb, 1e-12);
+  }
+}
+
+TEST(Barnes, GravityApproximatesDirectSummation) {
+  // Compare the theta-opening simulation force integration against direct
+  // O(N^2) on the same initial condition: velocities after one step should
+  // agree within the monopole approximation tolerance.
+  barnes::Params p = small_barnes();
+  p.nparticles = 200;
+  p.theta = 0.2;  // strict opening: mostly direct interactions
+  Harness h(2);
+  barnes::Simulation sim(h.rt, p);
+  // Gather the initial bodies.
+  std::vector<barnes::Body> init;
+  {
+    Collection& c = h.rt.collection(sim.pieces().id());
+    for (int pe = 0; pe < h.rt.npes(); ++pe)
+      for (auto& [ix, obj] : c.local(pe).elems)
+        for (const auto& b : static_cast<barnes::Piece*>(obj.get())->bodies())
+          init.push_back(b);
+  }
+  bool done = false;
+  h.rt.on_pe(0, [&] {
+    sim.run(1, Callback::to_function([&](ReductionResult&&) { done = true; }));
+  });
+  h.machine.run();
+  ASSERT_TRUE(done);
+
+  // Direct reference for total kinetic energy change direction.
+  double ref_ke = 0;
+  const double eps2 = p.soften * p.soften;
+  for (std::size_t i = 0; i < init.size(); ++i) {
+    double ax = 0, ay = 0, az = 0;
+    for (std::size_t j = 0; j < init.size(); ++j) {
+      if (i == j) continue;
+      const double dx = init[j].x - init[i].x;
+      const double dy = init[j].y - init[i].y;
+      const double dz = init[j].z - init[i].z;
+      const double r2 = dx * dx + dy * dy + dz * dz + eps2;
+      const double inv = 1.0 / (r2 * std::sqrt(r2));
+      ax += init[j].m * dx * inv;
+      ay += init[j].m * dy * inv;
+      az += init[j].m * dz * inv;
+    }
+    const double vx = init[i].vx + ax * p.dt;
+    const double vy = init[i].vy + ay * p.dt;
+    const double vz = init[i].vz + az * p.dt;
+    ref_ke += 0.5 * init[i].m * (vx * vx + vy * vy + vz * vz);
+  }
+  double sim_ke = 0;
+  Collection& c = h.rt.collection(sim.pieces().id());
+  for (int pe = 0; pe < h.rt.npes(); ++pe)
+    for (auto& [ix, obj] : c.local(pe).elems)
+      for (const auto& b : static_cast<barnes::Piece*>(obj.get())->bodies())
+        sim_ke += 0.5 * b.m * (b.vx * b.vx + b.vy * b.vy + b.vz * b.vz);
+  EXPECT_NEAR(sim_ke, ref_ke, std::abs(ref_ke) * 0.05)
+      << "theta=0.2 walk should be close to direct summation";
+}
+
+TEST(Barnes, OverdecompositionBeatsOnePiecePerPe) {
+  auto run = [](int pieces_per_dim, bool with_lb) {
+    Harness h(8);
+    barnes::Params p;
+    p.pieces_per_dim = pieces_per_dim;
+    p.nparticles = 6000;  // enough per-piece compute that overheads don't dominate
+    barnes::Simulation sim(h.rt, p);
+    if (with_lb) {
+      h.rt.lb().set_strategy(lb::make_orb());
+      h.rt.lb().set_period(2);
+    }
+    bool done = false;
+    h.rt.on_pe(0, [&] {
+      sim.run(6, Callback::to_function([&](ReductionResult&&) { done = true; }));
+    });
+    h.machine.run();
+    EXPECT_TRUE(done);
+    return h.machine.max_pe_clock();
+  };
+  // The paper's Fig 12 comparison: over-decomposed pieces balanced with ORB
+  // ("500m") vs one piece per PE ("500m_NO").  The paper reports ~40%; our
+  // piece-pair gravity approximation narrows the gap (EXPERIMENTS.md), so the
+  // assertion is directional.
+  EXPECT_LT(run(4, true), run(2, false));
+}
+
+TEST(Barnes, OrbLbImprovesClusteredRun) {
+  auto run = [](bool with_lb) {
+    Harness h(8);
+    barnes::Params p;
+    p.pieces_per_dim = 4;
+    p.nparticles = 1500;
+    p.concentration = 0.6;
+    barnes::Simulation sim(h.rt, p);
+    if (with_lb) {
+      h.rt.lb().set_strategy(lb::make_orb());
+      h.rt.lb().set_period(2);
+    }
+    bool done = false;
+    h.rt.on_pe(0, [&] {
+      sim.run(6, Callback::to_function([&](ReductionResult&&) { done = true; }));
+    });
+    h.machine.run();
+    EXPECT_TRUE(done);
+    return h.machine.max_pe_clock();
+  };
+  EXPECT_LT(run(true), run(false));
+}
+
+// ---- LULESH proxy -----------------------------------------------------------------
+
+TEST(Lulesh, RunsAndIsDeterministic) {
+  auto run = [](int npes) {
+    Harness h(npes);
+    lulesh::Config cfg;
+    cfg.ranks_per_dim = 2;
+    cfg.elems_per_dim = 6;
+    cfg.iterations = 5;
+    lulesh::Stats out;
+    bool done = false;
+    lulesh::run(h.rt, cfg, {}, [&](const lulesh::Stats& s) {
+      out = s;
+      done = true;
+    });
+    h.machine.run();
+    EXPECT_TRUE(done);
+    return out;
+  };
+  const auto a = run(2);
+  const auto b = run(8);
+  EXPECT_DOUBLE_EQ(a.checksum, b.checksum) << "physics independent of PE count";
+  EXPECT_GT(a.halo_messages, 0u);
+}
+
+TEST(Lulesh, VirtualizationImprovesCacheBoundRun) {
+  // Same 4^3=64-rank job; with 8 PEs each rank's working set is the same, but
+  // the modeled cache effect needs the per-rank working set to shrink...
+  // Virtualization enters through the config: smaller subdomains per rank at
+  // the same total size.  v=1: 2^3 ranks with 16^3 elements each on 8 PEs;
+  // v=8: 4^3 ranks with 8^3 elements each on the same 8 PEs.
+  auto run = [](int ranks_dim, int elems_dim) {
+    Harness h(8);
+    lulesh::Config cfg;
+    cfg.ranks_per_dim = ranks_dim;
+    cfg.elems_per_dim = elems_dim;
+    cfg.iterations = 6;
+    cfg.migrate_every = 0;
+    cfg.bytes_per_elem = 2400;
+    lulesh::Stats out;
+    ampi::Options opts;
+    opts.cache_bytes = 4e6;  // 16^3 * 2400B ~ 9.8MB spills; 8^3 ~ 1.2MB fits
+    lulesh::run(h.rt, cfg, opts, [&](const lulesh::Stats& s) { out = s; });
+    h.machine.run();
+    return out.elapsed;
+  };
+  const double t_v1 = run(2, 16);
+  const double t_v8 = run(4, 8);
+  EXPECT_LT(t_v8, t_v1 * 0.85)
+      << "8-way virtualization should fit the cache and run faster (Fig 14)";
+}
+
+TEST(Lulesh, MigrationFixesRegionImbalance) {
+  auto run = [](int migrate_every) {
+    Harness h(4);
+    lulesh::Config cfg;
+    cfg.ranks_per_dim = 2;
+    cfg.elems_per_dim = 8;
+    cfg.iterations = 12;
+    cfg.migrate_every = migrate_every;
+    cfg.region_factor = 6.0;
+    lulesh::Stats out;
+    lulesh::run(h.rt, cfg, {}, [&](const lulesh::Stats& s) { out = s; });
+    if (migrate_every > 0) {
+      Runtime::current().lb().set_strategy(lb::make_greedy());
+      Runtime::current().lb().set_period(2);
+    }
+    h.machine.run();
+    return out.elapsed;
+  };
+  EXPECT_LT(run(3), run(0));
+}
+
+TEST(Lulesh, NonCubicPeCountsWork) {
+  // 27 ranks on 5 PEs: virtualization frees the user from cubic core counts.
+  Harness h(5);
+  lulesh::Config cfg;
+  cfg.ranks_per_dim = 3;
+  cfg.elems_per_dim = 6;
+  cfg.iterations = 4;
+  bool done = false;
+  lulesh::run(h.rt, cfg, {}, [&](const lulesh::Stats&) { done = true; });
+  h.machine.run();
+  EXPECT_TRUE(done);
+}
+
+}  // namespace

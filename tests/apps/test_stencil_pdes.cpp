@@ -1,0 +1,180 @@
+// Stencil2D and PDES mini-app tests.
+
+#include <gtest/gtest.h>
+
+#include "miniapps/pdes/pdes.hpp"
+#include "miniapps/stencil/stencil.hpp"
+
+namespace {
+
+using namespace charm;
+
+struct Harness {
+  sim::Machine machine;
+  charm::Runtime rt;
+  explicit Harness(int npes) : machine(sim::MachineConfig{npes, {}, 4}), rt(machine) {}
+};
+
+// ---- Stencil2D ---------------------------------------------------------------
+
+TEST(Stencil, JacobiConverges) {
+  Harness h(4);
+  stencil::Params p;
+  p.grid = 64;
+  p.tiles_x = p.tiles_y = 4;
+  stencil::Sim sim(h.rt, p);
+  double first = -1, last = -1;
+  bool done = false;
+  h.rt.on_pe(0, [&] {
+    sim.run(5, Callback::to_function([&](ReductionResult&& r) {
+      first = r.num(0);
+      sim.run(40, Callback::to_function([&](ReductionResult&& r2) {
+        last = r2.num(0);
+        done = true;
+      }));
+    }));
+  });
+  h.machine.run();
+  ASSERT_TRUE(done);
+  EXPECT_GT(first, 0);
+  EXPECT_LT(last, first) << "Jacobi update magnitude must shrink";
+}
+
+TEST(Stencil, DeterministicAcrossPeCounts) {
+  auto run = [](int npes) {
+    Harness h(npes);
+    stencil::Params p;
+    p.grid = 32;
+    p.tiles_x = p.tiles_y = 4;
+    stencil::Sim sim(h.rt, p);
+    bool done = false;
+    h.rt.on_pe(0, [&] {
+      sim.run(10, Callback::to_function([&](ReductionResult&&) { done = true; }));
+    });
+    h.machine.run();
+    EXPECT_TRUE(done);
+    return sim.global_delta();
+  };
+  EXPECT_DOUBLE_EQ(run(1), run(5));
+}
+
+TEST(Stencil, InterferenceSlowsIterationsAndLbRecovers) {
+  // The Fig 16 mechanism in miniature.
+  auto run = [](bool with_lb) {
+    Harness h(8);
+    stencil::Params p;
+    p.grid = 128;
+    p.tiles_x = p.tiles_y = 8;
+    p.cell_cost = 40e-9;
+    stencil::Sim sim(h.rt, p);
+    if (with_lb) {
+      h.rt.lb().set_strategy(lb::make_greedy());
+      h.rt.lb().set_period(10);
+    }
+    bool done = false;
+    h.rt.on_pe(0, [&] {
+      // Interfering VM lands on PE 3 immediately: 0.4x effective speed.
+      h.machine.pe(3).set_freq(0.4);
+      sim.run(60, Callback::to_function([&](ReductionResult&&) { done = true; }));
+    });
+    h.machine.run();
+    EXPECT_TRUE(done);
+    return h.machine.max_pe_clock();
+  };
+  const double t_lb = run(true);
+  const double t_nolb = run(false);
+  EXPECT_LT(t_lb, t_nolb * 0.9)
+      << "speed-aware LB must migrate work off the interfered PE";
+}
+
+// ---- PDES / PHOLD ---------------------------------------------------------------
+
+TEST(Pdes, ExecutesEventsInWindows) {
+  Harness h(4);
+  pdes::Params p;
+  p.nlps = 64;
+  p.initial_events_per_lp = 8;
+  pdes::Engine eng(h.rt, p);
+  bool done = false;
+  h.rt.on_pe(0, [&] {
+    eng.run_until(10.0, Callback::to_function([&](ReductionResult&&) { done = true; }));
+  });
+  h.machine.run();
+  ASSERT_TRUE(done);
+  EXPECT_GT(eng.windows(), 3);
+  EXPECT_GT(eng.total_executed(), 500u);
+}
+
+TEST(Pdes, PholdPopulationIsStable) {
+  // PHOLD conserves the event population: every execution spawns exactly one
+  // successor, so executed events ~= windows * population in steady state.
+  Harness h(2);
+  pdes::Params p;
+  p.nlps = 32;
+  p.initial_events_per_lp = 4;
+  pdes::Engine eng(h.rt, p);
+  bool done = false;
+  h.rt.on_pe(0, [&] {
+    eng.run_until(20.0, Callback::to_function([&](ReductionResult&&) { done = true; }));
+  });
+  h.machine.run();
+  ASSERT_TRUE(done);
+  // All seeded events execute eventually; populations never die out.
+  EXPECT_GT(eng.total_executed(), static_cast<std::uint64_t>(32 * 4 * 5));
+}
+
+TEST(Pdes, TramAndDirectExecuteSameEventCount) {
+  auto run = [](bool tram) {
+    Harness h(8);
+    pdes::Params p;
+    p.nlps = 64;
+    p.initial_events_per_lp = 16;
+    p.use_tram = tram;
+    p.tram_buffer = 16;
+    pdes::Engine eng(h.rt, p);
+    bool done = false;
+    h.rt.on_pe(0, [&] {
+      eng.run_until(8.0, Callback::to_function([&](ReductionResult&&) { done = true; }));
+    });
+    h.machine.run();
+    EXPECT_TRUE(done);
+    return eng.total_executed();
+  };
+  const auto direct = run(false);
+  const auto tram = run(true);
+  EXPECT_EQ(direct, tram) << "transport must not change simulation semantics";
+}
+
+TEST(Pdes, TramWinsAtHighEventVolume) {
+  auto rate = [](bool tram, int events_per_lp) {
+    Harness h(8);
+    pdes::Params p;
+    p.nlps = 128;
+    p.initial_events_per_lp = events_per_lp;
+    p.use_tram = tram;
+    p.tram_buffer = 64;
+    pdes::Engine eng(h.rt, p);
+    h.rt.on_pe(0, [&] { eng.run_until(6.0, Callback::ignore()); });
+    h.machine.run();
+    return static_cast<double>(eng.total_executed()) / h.machine.max_pe_clock();
+  };
+  // High volume: aggregation pays (Fig 15b's right side).
+  EXPECT_GT(rate(true, 64), rate(false, 64));
+}
+
+TEST(Pdes, OverdecompositionRaisesEventRate) {
+  auto rate = [](int nlps) {
+    Harness h(4);
+    pdes::Params p;
+    p.nlps = nlps;
+    p.initial_events_per_lp = 16;
+    pdes::Engine eng(h.rt, p);
+    h.rt.on_pe(0, [&] { eng.run_until(6.0, Callback::ignore()); });
+    h.machine.run();
+    return static_cast<double>(eng.total_executed()) / h.machine.max_pe_clock();
+  };
+  // More LPs per PE => more useful work per window barrier (Fig 15a).
+  EXPECT_GT(rate(256), rate(16));
+}
+
+}  // namespace

@@ -1,0 +1,222 @@
+// Reductions, callbacks, and quiescence-detection tests.
+
+#include <gtest/gtest.h>
+
+#include "runtime/charm.hpp"
+
+namespace {
+
+using charm::ArrayProxy;
+using charm::Callback;
+using charm::ReduceOp;
+using charm::ReductionResult;
+
+struct StartMsg {
+  int rounds = 1;
+  void pup(pup::Er& p) { p | rounds; }
+};
+
+class Contributor : public charm::ArrayElement<Contributor, std::int32_t> {
+ public:
+  int results_seen = 0;
+  double last_result = 0;
+
+  void add(const StartMsg&) { contribute(static_cast<double>(index()), ReduceOp::kSum, cb); }
+  void take_min(const StartMsg&) {
+    contribute(static_cast<double>(index()), ReduceOp::kMin, cb);
+  }
+  void take_max(const StartMsg&) {
+    contribute(static_cast<double>(index()), ReduceOp::kMax, cb);
+  }
+  void vector_sum(const StartMsg&) {
+    contribute(std::vector<double>{1.0, static_cast<double>(index())}, ReduceOp::kSum, cb);
+  }
+  void gather(const StartMsg&) {
+    std::vector<double> mine{static_cast<double>(index())};
+    contribute_bytes(pup::to_bytes(mine), cb);
+  }
+  void barrier_only(const StartMsg&) { contribute(cb); }
+  void on_result(const ReductionResult& r) {
+    ++results_seen;
+    last_result = r.num(0);
+  }
+
+  static Callback cb;
+
+  void pup(pup::Er& p) override {
+    ArrayElementBase::pup(p);
+    p | results_seen;
+    p | last_result;
+  }
+};
+
+Callback Contributor::cb;
+
+struct Harness {
+  sim::Machine machine;
+  charm::Runtime rt;
+  explicit Harness(int npes) : machine(sim::MachineConfig{npes, {}, 4}), rt(machine) {}
+};
+
+ArrayProxy<Contributor> make_array(Harness& h, int n) {
+  auto arr = ArrayProxy<Contributor>::create(h.rt);
+  for (int i = 0; i < n; ++i) arr.seed(i, i % h.rt.npes());
+  return arr;
+}
+
+TEST(Reduction, SumOverAllElements) {
+  Harness h(4);
+  auto arr = make_array(h, 32);
+  double result = -1;
+  Contributor::cb = Callback::to_function([&](ReductionResult&& r) { result = r.num(0); });
+  h.rt.on_pe(0, [&] { arr.broadcast<&Contributor::add>(StartMsg{}); });
+  h.machine.run();
+  EXPECT_EQ(result, 31.0 * 32 / 2);
+}
+
+TEST(Reduction, MinAndMax) {
+  Harness h(4);
+  auto arr = make_array(h, 17);
+  double result = -1;
+  Contributor::cb = Callback::to_function([&](ReductionResult&& r) { result = r.num(0); });
+  h.rt.on_pe(0, [&] { arr.broadcast<&Contributor::take_min>(StartMsg{}); });
+  h.machine.run();
+  EXPECT_EQ(result, 0.0);
+
+  h.machine.resume();
+  h.rt.on_pe(0, [&] { arr.broadcast<&Contributor::take_max>(StartMsg{}); });
+  h.machine.run();
+  EXPECT_EQ(result, 16.0);
+}
+
+TEST(Reduction, ElementwiseVectorSum) {
+  Harness h(3);
+  auto arr = make_array(h, 10);
+  std::vector<double> result;
+  Contributor::cb = Callback::to_function([&](ReductionResult&& r) { result = r.nums; });
+  h.rt.on_pe(0, [&] { arr.broadcast<&Contributor::vector_sum>(StartMsg{}); });
+  h.machine.run();
+  ASSERT_EQ(result.size(), 2u);
+  EXPECT_EQ(result[0], 10.0);   // count
+  EXPECT_EQ(result[1], 45.0);  // sum of indices
+}
+
+TEST(Reduction, ConcatGathersAllChunks) {
+  Harness h(4);
+  auto arr = make_array(h, 12);
+  std::vector<double> gathered;
+  Contributor::cb = Callback::to_function([&](ReductionResult&& r) {
+    for (auto& chunk : r.chunks) {
+      std::vector<double> v;
+      pup::from_bytes(chunk, v);
+      gathered.insert(gathered.end(), v.begin(), v.end());
+    }
+  });
+  h.rt.on_pe(0, [&] { arr.broadcast<&Contributor::gather>(StartMsg{}); });
+  h.machine.run();
+  ASSERT_EQ(gathered.size(), 12u);
+  std::sort(gathered.begin(), gathered.end());
+  for (int i = 0; i < 12; ++i) EXPECT_EQ(gathered[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Reduction, BarrierCountOnly) {
+  Harness h(4);
+  auto arr = make_array(h, 9);
+  bool fired = false;
+  Contributor::cb = Callback::to_function([&](ReductionResult&&) { fired = true; });
+  h.rt.on_pe(0, [&] { arr.broadcast<&Contributor::barrier_only>(StartMsg{}); });
+  h.machine.run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(Reduction, CallbackToBroadcastDeliversToEveryElement) {
+  Harness h(4);
+  auto arr = make_array(h, 8);
+  Contributor::cb = arr.bcast_callback<&Contributor::on_result>();
+  h.rt.on_pe(0, [&] { arr.broadcast<&Contributor::add>(StartMsg{}); });
+  h.machine.run();
+  for (int i = 0; i < 8; ++i) {
+    auto* c = static_cast<Contributor*>(
+        h.rt.collection(arr.id()).find(i % 4, charm::IndexTraits<std::int32_t>::encode(i)));
+    ASSERT_NE(c, nullptr);
+    EXPECT_EQ(c->results_seen, 1);
+    EXPECT_EQ(c->last_result, 28.0);
+  }
+}
+
+TEST(Reduction, CallbackToSingleElement) {
+  Harness h(4);
+  auto arr = make_array(h, 8);
+  Contributor::cb = arr[3].callback<&Contributor::on_result>();
+  h.rt.on_pe(0, [&] { arr.broadcast<&Contributor::add>(StartMsg{}); });
+  h.machine.run();
+  int total_seen = 0;
+  for (int i = 0; i < 8; ++i) {
+    auto* c = static_cast<Contributor*>(
+        h.rt.collection(arr.id()).find(i % 4, charm::IndexTraits<std::int32_t>::encode(i)));
+    total_seen += c->results_seen;
+  }
+  EXPECT_EQ(total_seen, 1);
+}
+
+TEST(Reduction, SequentialReductionsKeepOrder) {
+  Harness h(2);
+  auto arr = make_array(h, 6);
+  std::vector<double> results;
+  Contributor::cb = Callback::to_function([&](ReductionResult&& r) {
+    results.push_back(r.num(0));
+  });
+  h.rt.on_pe(0, [&] {
+    arr.broadcast<&Contributor::add>(StartMsg{});
+    arr.broadcast<&Contributor::take_max>(StartMsg{});
+    arr.broadcast<&Contributor::take_min>(StartMsg{});
+  });
+  h.machine.run();
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_EQ(results[0], 15.0);
+  EXPECT_EQ(results[1], 5.0);
+  EXPECT_EQ(results[2], 0.0);
+}
+
+TEST(Reduction, LatencyGrowsWithPeCount) {
+  // The modeled combine tree is logarithmic in P.
+  auto reduce_time = [](int npes) {
+    Harness h(npes);
+    auto arr = ArrayProxy<Contributor>::create(h.rt);
+    for (int i = 0; i < npes; ++i) arr.seed(i, i);
+    double done_at = -1;
+    Contributor::cb =
+        Callback::to_function([&](ReductionResult&&) { done_at = charm::now(); });
+    h.rt.on_pe(0, [&] { arr.broadcast<&Contributor::add>(StartMsg{}); });
+    h.machine.run();
+    return done_at;
+  };
+  EXPECT_LT(reduce_time(4), reduce_time(256));
+}
+
+TEST(Quiescence, FiresImmediatelyWhenIdle) {
+  Harness h(2);
+  bool fired = false;
+  h.rt.on_pe(0, [&] {
+    h.rt.start_quiescence(Callback::to_function([&](ReductionResult&&) { fired = true; }));
+  });
+  h.machine.run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(Quiescence, WaitsForReductionCallbacks) {
+  Harness h(4);
+  auto arr = make_array(h, 16);
+  bool reduced = false;
+  bool qd_after_reduction = false;
+  Contributor::cb = Callback::to_function([&](ReductionResult&&) { reduced = true; });
+  h.rt.on_pe(0, [&] {
+    arr.broadcast<&Contributor::add>(StartMsg{});
+    h.rt.start_quiescence(Callback::to_function(
+        [&](ReductionResult&&) { qd_after_reduction = reduced; }));
+  });
+  h.machine.run();
+  EXPECT_TRUE(qd_after_reduction);
+}
+
+}  // namespace

@@ -1,0 +1,184 @@
+// PUP framework unit tests: round-trips for scalars, strings, containers,
+// nested user types, and the sizer/packer agreement invariant.
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <map>
+#include <optional>
+#include <set>
+#include <unordered_map>
+
+#include "pup/pup.hpp"
+#include "runtime/index.hpp"
+#include "sim/rng.hpp"
+
+namespace {
+
+struct Inner {
+  int a = 0;
+  double b = 0;
+  std::string s;
+  void pup(pup::Er& p) {
+    p | a;
+    p | b;
+    p | s;
+  }
+  bool operator==(const Inner&) const = default;
+};
+
+struct Outer {
+  std::vector<Inner> inners;
+  std::map<std::string, int> table;
+  std::array<float, 4> arr{};
+  std::optional<Inner> maybe;
+  void pup(pup::Er& p) {
+    p | inners;
+    p | table;
+    p | arr;
+    p | maybe;
+  }
+  bool operator==(const Outer&) const = default;
+};
+
+template <class T>
+T round_trip(T& v) {
+  auto bytes = pup::to_bytes(v);
+  EXPECT_EQ(bytes.size(), pup::size_of(v)) << "sizer and packer disagree";
+  T out{};
+  pup::from_bytes(bytes, out);
+  return out;
+}
+
+TEST(Pup, Scalars) {
+  int i = -42;
+  double d = 3.25;
+  bool b = true;
+  std::uint64_t u = 0xDEADBEEFCAFEull;
+  EXPECT_EQ(round_trip(i), -42);
+  EXPECT_EQ(round_trip(d), 3.25);
+  EXPECT_EQ(round_trip(b), true);
+  EXPECT_EQ(round_trip(u), 0xDEADBEEFCAFEull);
+}
+
+TEST(Pup, EnumsAndString) {
+  enum class Color { kRed = 7, kBlue = 9 };
+  Color c = Color::kBlue;
+  EXPECT_EQ(round_trip(c), Color::kBlue);
+  std::string s = "hello pup";
+  EXPECT_EQ(round_trip(s), "hello pup");
+  std::string empty;
+  EXPECT_EQ(round_trip(empty), "");
+}
+
+TEST(Pup, Vectors) {
+  std::vector<int> v{1, 2, 3, 4, 5};
+  EXPECT_EQ(round_trip(v), v);
+  std::vector<std::string> vs{"a", "", "long string with spaces"};
+  EXPECT_EQ(round_trip(vs), vs);
+  std::vector<bool> vb{true, false, true, true};
+  EXPECT_EQ(round_trip(vb), vb);
+  std::vector<int> ve;
+  EXPECT_TRUE(round_trip(ve).empty());
+}
+
+TEST(Pup, AssociativeContainers) {
+  std::map<int, std::string> m{{1, "one"}, {2, "two"}};
+  EXPECT_EQ(round_trip(m), m);
+  std::unordered_map<std::string, double> um{{"pi", 3.14}, {"e", 2.71}};
+  EXPECT_EQ(round_trip(um), um);
+  std::set<int> s{5, 3, 1};
+  EXPECT_EQ(round_trip(s), s);
+}
+
+TEST(Pup, DequeOptionalPair) {
+  std::deque<int> d{9, 8, 7};
+  EXPECT_EQ(round_trip(d), d);
+  std::optional<int> some = 5;
+  EXPECT_EQ(round_trip(some), some);
+  std::optional<int> none;
+  EXPECT_EQ(round_trip(none), none);
+  std::pair<int, std::string> pr{3, "x"};
+  EXPECT_EQ(round_trip(pr), pr);
+}
+
+TEST(Pup, NestedUserTypes) {
+  Outer o;
+  o.inners = {{1, 1.5, "a"}, {2, 2.5, "bb"}};
+  o.table = {{"k1", 10}, {"k2", 20}};
+  o.arr = {1.f, 2.f, 3.f, 4.f};
+  o.maybe = Inner{7, 7.5, "opt"};
+  EXPECT_EQ(round_trip(o), o);
+}
+
+TEST(Pup, PUParrayRawAndObjects) {
+  int raw[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<std::byte> buf;
+  {
+    pup::Packer pk(buf);
+    pup::PUParray(pk, raw, 8);
+  }
+  int out[8] = {};
+  pup::Unpacker u(buf);
+  pup::PUParray(u, out, 8);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(out[i], raw[i]);
+}
+
+TEST(Pup, UnderrunThrows) {
+  std::vector<std::byte> small(2);
+  pup::Unpacker u(small);
+  double d;
+  EXPECT_THROW(u | d, std::out_of_range);
+}
+
+TEST(Pup, RngStateSurvivesMigrationRoundTrip) {
+  sim::Rng r(123);
+  (void)r.next_u64();
+  (void)r.next_u64();
+  sim::Rng copy = round_trip(r);
+  EXPECT_EQ(copy.next_u64(), r.next_u64());
+  EXPECT_EQ(copy.next_double(), r.next_double());
+}
+
+TEST(Pup, ObjIndexRoundTrip) {
+  charm::ObjIndex ix{12345, 67890};
+  EXPECT_EQ(round_trip(ix), ix);
+}
+
+TEST(Pup, IndexEncodingIsBijective) {
+  using namespace charm;
+  Index3D a{3, -7, 11};
+  EXPECT_EQ(IndexTraits<Index3D>::decode(IndexTraits<Index3D>::encode(a)), a);
+  Index6D b{{1, 2, 3, 4, 5, 6}};
+  EXPECT_EQ(IndexTraits<Index6D>::decode(IndexTraits<Index6D>::encode(b)), b);
+  BitIndex c;
+  c = c.child(5).child(3).child(7);
+  EXPECT_EQ(IndexTraits<BitIndex>::decode(IndexTraits<BitIndex>::encode(c)), c);
+  EXPECT_EQ(c.depth, 3);
+  EXPECT_EQ(c.octant_at(0), 5);
+  EXPECT_EQ(c.octant_at(2), 7);
+  EXPECT_EQ(c.parent().parent().octant_at(0), 5);
+}
+
+// Property sweep: packed size must match sizer prediction for random payloads.
+class PupSizeProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(PupSizeProperty, SizerMatchesPacker) {
+  sim::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  Outer o;
+  const int n = static_cast<int>(rng.next_below(20));
+  for (int i = 0; i < n; ++i) {
+    Inner in;
+    in.a = static_cast<int>(rng.next_u64());
+    in.b = rng.next_double();
+    in.s = std::string(rng.next_below(32), 'x');
+    o.inners.push_back(in);
+    o.table[std::to_string(i)] = i;
+  }
+  EXPECT_EQ(pup::to_bytes(o).size(), pup::size_of(o));
+  EXPECT_EQ(round_trip(o), o);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomPayloads, PupSizeProperty, ::testing::Range(0, 12));
+
+}  // namespace

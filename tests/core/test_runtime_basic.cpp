@@ -1,0 +1,248 @@
+// Core runtime behaviour: entry-method invocation, argument delivery,
+// chare-to-chare messaging, broadcasts, dynamic insertion/destruction,
+// message priorities, and virtual-time accounting.
+
+#include <gtest/gtest.h>
+
+#include "runtime/charm.hpp"
+
+namespace {
+
+using charm::ArrayProxy;
+using charm::Callback;
+using charm::ReductionResult;
+
+struct PingMsg {
+  int value = 0;
+  int from = -1;
+  void pup(pup::Er& p) {
+    p | value;
+    p | from;
+  }
+};
+
+class Counter : public charm::ArrayElement<Counter, std::int32_t> {
+ public:
+  int received = 0;
+  int last = 0;
+  std::vector<int> seen;
+
+  void recv(const PingMsg& m) {
+    ++received;
+    last = m.value;
+    seen.push_back(m.value);
+    charm::charge(1e-6);
+  }
+  void bump() { ++received; }
+
+  void forward(const PingMsg& m) {
+    // Relay to the next element (tests element-to-element sends).
+    ++received;
+    if (m.value > 0) {
+      ArrayProxy<Counter> peers(collection_id());
+      PingMsg next{m.value - 1, static_cast<int>(index())};
+      peers[(index() + 1) % 8].send<&Counter::forward>(next);
+    }
+  }
+
+  void pup(pup::Er& p) override {
+    ArrayElementBase::pup(p);
+    p | received;
+    p | last;
+    p | seen;
+  }
+};
+
+struct Harness {
+  sim::Machine machine;
+  charm::Runtime rt;
+  explicit Harness(int npes) : machine(sim::MachineConfig{npes, {}, 4}), rt(machine) {}
+};
+
+Counter* find_counter(Harness& h, charm::CollectionId col, std::int32_t ix) {
+  for (int pe = 0; pe < h.rt.npes(); ++pe) {
+    auto* found = h.rt.collection(col).find(pe, charm::IndexTraits<std::int32_t>::encode(ix));
+    if (found) return static_cast<Counter*>(found);
+  }
+  return nullptr;
+}
+
+TEST(RuntimeBasic, PointSendInvokesEntryWithArgument) {
+  Harness h(4);
+  auto arr = ArrayProxy<Counter>::create(h.rt);
+  for (int i = 0; i < 8; ++i) arr.seed(i, i % 4);
+  h.rt.on_pe(0, [&] { arr[5].send<&Counter::recv>(PingMsg{42, 0}); });
+  h.machine.run();
+  Counter* c = find_counter(h, arr.id(), 5);
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->received, 1);
+  EXPECT_EQ(c->last, 42);
+}
+
+TEST(RuntimeBasic, NoArgEntry) {
+  Harness h(2);
+  auto arr = ArrayProxy<Counter>::create(h.rt);
+  arr.seed(0, 0);
+  h.rt.on_pe(0, [&] { arr[0].send<&Counter::bump>(); });
+  h.machine.run();
+  EXPECT_EQ(find_counter(h, arr.id(), 0)->received, 1);
+}
+
+TEST(RuntimeBasic, ChareToChareRelayChain) {
+  Harness h(4);
+  auto arr = ArrayProxy<Counter>::create(h.rt);
+  for (int i = 0; i < 8; ++i) arr.seed(i, i % 4);
+  h.rt.on_pe(0, [&] { arr[0].send<&Counter::forward>(PingMsg{16, -1}); });
+  h.machine.run();
+  int total = 0;
+  for (int i = 0; i < 8; ++i) total += find_counter(h, arr.id(), i)->received;
+  EXPECT_EQ(total, 17);  // initial + 16 relays
+}
+
+TEST(RuntimeBasic, BroadcastReachesEveryElement) {
+  Harness h(4);
+  auto arr = ArrayProxy<Counter>::create(h.rt);
+  for (int i = 0; i < 20; ++i) arr.seed(i, i % 4);
+  h.rt.on_pe(0, [&] { arr.broadcast<&Counter::recv>(PingMsg{7, -1}); });
+  h.machine.run();
+  for (int i = 0; i < 20; ++i) {
+    Counter* c = find_counter(h, arr.id(), i);
+    EXPECT_EQ(c->received, 1) << i;
+    EXPECT_EQ(c->last, 7) << i;
+  }
+}
+
+TEST(RuntimeBasic, VirtualTimeAdvancesWithChargedWork) {
+  Harness h(1);
+  auto arr = ArrayProxy<Counter>::create(h.rt);
+  arr.seed(0, 0);
+  h.rt.on_pe(0, [&] {
+    for (int i = 0; i < 100; ++i) arr[0].send<&Counter::recv>(PingMsg{i, -1});
+  });
+  h.machine.run();
+  // 100 messages x 1us of charged work each, plus overheads.
+  EXPECT_GE(h.machine.pe(0).busy_time(), 100e-6);
+  EXPECT_GE(h.machine.max_pe_clock(), 100e-6);
+}
+
+TEST(RuntimeBasic, MessagesCountedAndQuiesce) {
+  Harness h(4);
+  auto arr = ArrayProxy<Counter>::create(h.rt);
+  for (int i = 0; i < 8; ++i) arr.seed(i, i % 4);
+  bool qd_fired = false;
+  h.rt.on_pe(0, [&] {
+    arr[0].send<&Counter::forward>(PingMsg{30, -1});
+    h.rt.start_quiescence(Callback::to_function([&](ReductionResult&&) {
+      qd_fired = true;
+      // At quiescence every relay must have been processed.
+      int total = 0;
+      for (int i = 0; i < 8; ++i) total += find_counter(h, arr.id(), i)->received;
+      EXPECT_EQ(total, 31);
+    }));
+  });
+  h.machine.run();
+  EXPECT_TRUE(qd_fired);
+  EXPECT_EQ(h.rt.outstanding(), 0);
+}
+
+class Spawnable : public charm::ArrayElement<Spawnable, std::int32_t> {
+ public:
+  Spawnable() = default;
+  explicit Spawnable(const PingMsg& m) : tag(m.value) {}
+  int tag = -1;
+  int received = 0;
+  void recv(const PingMsg& m) {
+    ++received;
+    tag = m.value;
+  }
+  void die() { charm::Runtime::current().destroy_self(); }
+  void pup(pup::Er& p) override {
+    ArrayElementBase::pup(p);
+    p | tag;
+    p | received;
+  }
+};
+
+TEST(RuntimeBasic, InsertCreatesElementAndDeliversLaterSends) {
+  Harness h(4);
+  auto arr = ArrayProxy<Spawnable>::create(h.rt);
+  arr.seed(0, 0);
+  h.rt.on_pe(0, [&] {
+    arr.insert(42, PingMsg{1234, 0});
+    // This send races the creation; the home PE must buffer and deliver it.
+    arr[42].send<&Spawnable::recv>(PingMsg{5, -1});
+  });
+  h.machine.run();
+  Spawnable* s = nullptr;
+  for (int pe = 0; pe < 4; ++pe) {
+    auto* found = h.rt.collection(arr.id()).find(pe, charm::IndexTraits<std::int32_t>::encode(42));
+    if (found) s = static_cast<Spawnable*>(found);
+  }
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->received, 1);
+  EXPECT_EQ(s->tag, 5);
+  EXPECT_EQ(h.rt.collection(arr.id()).total_elements, 2);
+}
+
+TEST(RuntimeBasic, DestroySelfRemovesElement) {
+  Harness h(2);
+  auto arr = ArrayProxy<Spawnable>::create(h.rt);
+  arr.seed(0, 0);
+  arr.seed(1, 1);
+  h.rt.on_pe(0, [&] { arr[1].send<&Spawnable::die>(); });
+  h.machine.run();
+  EXPECT_EQ(h.rt.collection(arr.id()).total_elements, 1);
+  EXPECT_EQ(h.rt.collection(arr.id()).find(1, charm::IndexTraits<std::int32_t>::encode(1)),
+            nullptr);
+}
+
+class PrioObserver : public charm::ArrayElement<PrioObserver, std::int32_t> {
+ public:
+  std::vector<int> order;
+  void busy() { charm::charge(1e-3); }
+  void tag(const PingMsg& m) { order.push_back(m.value); }
+  void pup(pup::Er& p) override {
+    ArrayElementBase::pup(p);
+    p | order;
+  }
+};
+
+TEST(RuntimeBasic, PrioritizedMessagesJumpTheQueue) {
+  Harness h(1);
+  auto arr = ArrayProxy<PrioObserver>::create(h.rt);
+  arr.seed(0, 0);
+  h.rt.on_pe(0, [&] {
+    arr[0].send<&PrioObserver::busy>();  // occupy the PE
+    arr[0].send<&PrioObserver::tag>(PingMsg{1, -1}, charm::kLowPriority);
+    arr[0].send<&PrioObserver::tag>(PingMsg{2, -1}, charm::kHighPriority);
+  });
+  h.machine.run();
+  auto* o = static_cast<PrioObserver*>(
+      h.rt.collection(arr.id()).find(0, charm::IndexTraits<std::int32_t>::encode(0)));
+  ASSERT_EQ(o->order.size(), 2u);
+  EXPECT_EQ(o->order[0], 2);
+  EXPECT_EQ(o->order[1], 1);
+}
+
+TEST(RuntimeBasic, GroupHasOneElementPerPe) {
+  Harness h(6);
+  struct G : charm::Group<G> {
+    int pokes = 0;
+    void poke() { ++pokes; }
+  };
+  auto grp = charm::GroupProxy<G>::create(h.rt);
+  h.rt.on_pe(0, [&] {
+    grp.broadcast<&G::poke>();
+    grp.on(3).send<&G::poke>();
+  });
+  h.machine.run();
+  EXPECT_EQ(h.rt.collection(grp.id()).total_elements, 6);
+  for (int pe = 0; pe < 6; ++pe) {
+    auto* g = static_cast<G*>(
+        h.rt.collection(grp.id()).find(pe, charm::IndexTraits<std::int32_t>::encode(pe)));
+    ASSERT_NE(g, nullptr);
+    EXPECT_EQ(g->pokes, pe == 3 ? 2 : 1);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,146 @@
+// Machine emulator unit tests: event ordering, charging, priorities,
+// frequency scaling, network delays, and determinism.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/machine.hpp"
+
+namespace {
+
+sim::MachineConfig cfg(int npes) {
+  sim::MachineConfig c;
+  c.npes = npes;
+  return c;
+}
+
+TEST(Machine, PostAndRunExecutesHandlers) {
+  sim::Machine m(cfg(2));
+  int hits = 0;
+  m.post(0, 0.0, [&] { ++hits; });
+  m.post(1, 1.0, [&] { ++hits; });
+  m.run();
+  EXPECT_EQ(hits, 2);
+  EXPECT_GE(m.time(), 1.0);
+}
+
+TEST(Machine, ChargeAdvancesPeClock) {
+  sim::Machine m(cfg(1));
+  m.post(0, 0.0, [&] { m.charge(1e-3); });
+  m.run();
+  EXPECT_GE(m.pe(0).clock(), 1e-3);
+  EXPECT_GE(m.pe(0).busy_time(), 1e-3);
+}
+
+TEST(Machine, FrequencyScalesCharges) {
+  sim::Machine a(cfg(1)), b(cfg(1));
+  b.pe(0).set_freq(0.5);
+  for (sim::Machine* m : {&a, &b}) {
+    m->post(0, 0.0, [m] { m->charge(1e-3); });
+    m->run();
+  }
+  // Half frequency => twice the virtual time for the same work.
+  EXPECT_NEAR(b.pe(0).busy_time() - a.pe(0).busy_time(), a.pe(0).busy_time(), 1e-9);
+}
+
+TEST(Machine, BusyPeSerializesWork) {
+  sim::Machine m(cfg(1));
+  std::vector<double> starts;
+  for (int i = 0; i < 3; ++i) {
+    m.post(0, 0.0, [&] {
+      starts.push_back(m.now());
+      m.charge(1e-3);
+    });
+  }
+  m.run();
+  ASSERT_EQ(starts.size(), 3u);
+  EXPECT_GE(starts[1], starts[0] + 1e-3);
+  EXPECT_GE(starts[2], starts[1] + 1e-3);
+}
+
+TEST(Machine, PriorityOrdersReadyQueue) {
+  sim::Machine m(cfg(1));
+  std::vector<int> order;
+  // First handler occupies the PE; the next two arrive while busy and must
+  // run in priority order regardless of arrival order.
+  m.post(0, 0.0, [&] { m.charge(1e-3); });
+  m.post(0, 1e-6, [&] { order.push_back(1); }, /*priority=*/5);
+  m.post(0, 2e-6, [&] { order.push_back(2); }, /*priority=*/-5);
+  m.run();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 2);  // higher priority (lower value) first
+  EXPECT_EQ(order[1], 1);
+}
+
+TEST(Machine, SendDelaysScaleWithSizeAndDistance) {
+  sim::MachineConfig c = cfg(64);
+  c.net.use_topology = true;
+  sim::Machine m(c);
+  double t_small = 0, t_big = 0;
+  m.post(0, 0.0, [&] {
+    m.send(63, 64, 0, [&] { t_small = m.now(); });
+    m.send(63, 1 << 20, 0, [&] { t_big = m.now(); });
+  });
+  m.run();
+  EXPECT_GT(t_small, 0);
+  const double payload_time = (1 << 20) / c.net.bandwidth;
+  EXPECT_GE(t_big, t_small + payload_time * 0.5);
+}
+
+TEST(Machine, SelfSendIsCheap) {
+  sim::Machine m(cfg(4));
+  double t_self = 0, t_remote = 0;
+  m.post(0, 0.0, [&] {
+    m.send(0, 64, 0, [&] { t_self = m.now(); });
+    m.send(3, 64, 0, [&] { t_remote = m.now(); });
+  });
+  m.run();
+  EXPECT_LT(t_self, t_remote);
+}
+
+TEST(Machine, StopHaltsProcessing) {
+  sim::Machine m(cfg(1));
+  int hits = 0;
+  m.post(0, 0.0, [&] {
+    ++hits;
+    m.stop();
+  });
+  m.post(0, 1.0, [&] { ++hits; });
+  m.run();
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(Machine, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    sim::Machine m(cfg(8));
+    double final_t = 0;
+    for (int i = 0; i < 8; ++i) {
+      m.post(i, 0.0, [&m, i] {
+        m.charge(1e-6 * (i + 1));
+        m.send((i + 3) % 8, 128, 0, [&m] { m.charge(2e-6); });
+      });
+    }
+    m.run();
+    final_t = m.max_pe_clock();
+    return final_t;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(Machine, ResumeAfterStopContinues) {
+  sim::Machine m(cfg(1));
+  int hits = 0;
+  m.post(0, 0.0, [&] {
+    ++hits;
+    m.stop();
+  });
+  m.post(0, 1.0, [&] { ++hits; });
+  m.run();
+  EXPECT_EQ(hits, 1);
+  m.resume();
+  m.run();
+  EXPECT_EQ(hits, 2);
+}
+
+}  // namespace

@@ -1,0 +1,86 @@
+// Torus topology and network model tests.
+
+#include <gtest/gtest.h>
+
+#include "sim/network.hpp"
+#include "sim/topology.hpp"
+
+namespace {
+
+TEST(Torus, FactorsCoverAllPes) {
+  for (int n : {1, 2, 7, 8, 12, 64, 100, 1024}) {
+    sim::Torus3D t(n);
+    const auto& d = t.dims();
+    EXPECT_EQ(d[0] * d[1] * d[2], n) << "n=" << n;
+    for (int pe = 0; pe < n; ++pe) EXPECT_EQ(t.pe_at(t.coords(pe)), pe);
+  }
+}
+
+TEST(Torus, HopsAreSymmetricAndBounded) {
+  sim::Torus3D t(64);
+  const auto& d = t.dims();
+  const int max_hops = d[0] / 2 + d[1] / 2 + d[2] / 2;
+  for (int a = 0; a < 64; a += 7) {
+    for (int b = 0; b < 64; b += 5) {
+      EXPECT_EQ(t.hops(a, b), t.hops(b, a));
+      EXPECT_LE(t.hops(a, b), max_hops);
+    }
+  }
+  EXPECT_EQ(t.hops(5, 5), 0);
+}
+
+TEST(Torus, DimensionOrderedRoutingConverges) {
+  sim::Torus3D t(60);
+  for (int src = 0; src < 60; src += 3) {
+    for (int dst = 0; dst < 60; dst += 4) {
+      int cur = src;
+      int steps = 0;
+      while (cur != dst) {
+        const int next = t.next_on_route(cur, dst);
+        // Each routing step is a peer move: exactly one dim changes, to the
+        // destination's coordinate in that dim.
+        EXPECT_NE(next, cur);
+        cur = next;
+        ASSERT_LT(++steps, 4) << "route must finish in <= 3 dimension moves";
+      }
+    }
+  }
+}
+
+TEST(Torus, PeersDifferInOneDimension) {
+  sim::Torus3D t(64);
+  for (int dst = 1; dst < 64; dst += 9) {
+    const int next = t.next_on_route(0, dst);
+    auto a = t.coords(0);
+    auto b = t.coords(next);
+    int diffs = 0;
+    for (int i = 0; i < 3; ++i) diffs += (a[i] != b[i]) ? 1 : 0;
+    EXPECT_EQ(diffs, 1);
+  }
+}
+
+TEST(Network, TransitGrowsWithBytesAndHops) {
+  sim::Torus3D t(64);
+  sim::NetworkModel net(sim::NetworkParams{}, t);
+  const double t1 = net.transit_time(0, 1, 64);
+  const double t2 = net.transit_time(0, 1, 1 << 20);
+  EXPECT_GT(t2, t1);
+  // Far PE on the torus pays per-hop latency.
+  int far = 0;
+  for (int pe = 0; pe < 64; ++pe)
+    if (t.hops(0, pe) > t.hops(0, far)) far = pe;
+  EXPECT_GT(net.transit_time(0, far, 64), net.transit_time(0, 1, 64));
+}
+
+TEST(Network, PresetsAreOrderedSensibly) {
+  // Cloud Ethernet must be much slower than any HPC interconnect preset.
+  const auto bgq = sim::NetworkParams::bluegene_q();
+  const auto cloud = sim::NetworkParams::cloud_ethernet();
+  EXPECT_GT(cloud.latency, 10 * bgq.latency);
+  EXPECT_LT(cloud.bandwidth, bgq.bandwidth);
+  const auto gemini = sim::NetworkParams::cray_gemini();
+  const auto seastar = sim::NetworkParams::cray_seastar();
+  EXPECT_GT(gemini.bandwidth, seastar.bandwidth);
+}
+
+}  // namespace

@@ -1,0 +1,259 @@
+// Fault tolerance tests: disk checkpoint/restart on a different PE count,
+// double in-memory checkpointing, failure injection and rollback recovery.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "ft/checkpoint.hpp"
+#include "ft/mem_checkpoint.hpp"
+#include "runtime/charm.hpp"
+
+namespace {
+
+using namespace charm;
+
+struct Msg {
+  int v = 0;
+  void pup(pup::Er& p) { p | v; }
+};
+
+class Cell : public charm::ArrayElement<Cell, std::int32_t> {
+ public:
+  std::vector<double> data;
+  int steps = 0;
+
+  void init() {
+    data.assign(64, static_cast<double>(index()));
+  }
+  void work(const Msg& m) {
+    steps += m.v;
+    for (auto& d : data) d += 1.0;
+    charm::charge(1e-6);
+  }
+  void pup(pup::Er& p) override {
+    ArrayElementBase::pup(p);
+    p | data;
+    p | steps;
+  }
+};
+
+struct Harness {
+  sim::Machine machine;
+  charm::Runtime rt;
+  explicit Harness(int npes) : machine(sim::MachineConfig{npes, {}, 4}), rt(machine) {}
+};
+
+Cell* find_cell(Runtime& rt, CollectionId col, std::int32_t ix, int* pe_out = nullptr) {
+  for (int pe = 0; pe < rt.npes(); ++pe) {
+    auto* f = rt.collection(col).find(pe, IndexTraits<std::int32_t>::encode(ix));
+    if (f) {
+      if (pe_out) *pe_out = pe;
+      return static_cast<Cell*>(f);
+    }
+  }
+  return nullptr;
+}
+
+const char* kCkptPath = "/tmp/charmlike_test.ckpt";
+
+TEST(DiskCheckpoint, RestartOnDifferentPeCountPreservesState) {
+  const int n = 24;
+  {
+    Harness h(6);
+    auto arr = ArrayProxy<Cell>::create(h.rt);
+    for (int i = 0; i < n; ++i) arr.seed(i, i % 6);
+    bool ckpt_done = false;
+    h.rt.on_pe(0, [&] {
+      arr.broadcast<&Cell::init>();
+      arr.broadcast<&Cell::work>(Msg{3});
+      arr.broadcast<&Cell::work>(Msg{4});
+      // Checkpoint at the step boundary: wait until the work has landed.
+      h.rt.start_quiescence(Callback::to_function([&](ReductionResult&&) {
+        ft::checkpoint_to_file(h.rt, kCkptPath,
+                               Callback::to_function([&](ReductionResult&&) {
+                                 ckpt_done = true;
+                               }));
+      }));
+    });
+    h.machine.run();
+    ASSERT_TRUE(ckpt_done);
+  }
+  {
+    // Restart on 4 PEs (original run used 6).
+    Harness h(4);
+    auto arr = ArrayProxy<Cell>::create(h.rt);
+    const std::size_t restored = ft::restart_from_file(h.rt, kCkptPath);
+    EXPECT_EQ(restored, static_cast<std::size_t>(n));
+    EXPECT_EQ(h.rt.collection(arr.id()).total_elements, n);
+    for (int i = 0; i < n; ++i) {
+      Cell* c = find_cell(h.rt, arr.id(), i);
+      ASSERT_NE(c, nullptr) << i;
+      EXPECT_EQ(c->steps, 7);
+      ASSERT_EQ(c->data.size(), 64u);
+      EXPECT_EQ(c->data[0], static_cast<double>(i) + 2.0);
+    }
+    // Restarted elements are fully functional.
+    h.rt.on_pe(0, [&] { arr.broadcast<&Cell::work>(Msg{1}); });
+    h.machine.run();
+    EXPECT_EQ(find_cell(h.rt, arr.id(), 0)->steps, 8);
+  }
+  std::remove(kCkptPath);
+}
+
+TEST(DiskCheckpoint, CheckpointTimeScalesWithDataPerPe) {
+  auto ckpt_time = [](int npes) {
+    Harness h(npes);
+    auto arr = ArrayProxy<Cell>::create(h.rt);
+    for (int i = 0; i < 64; ++i) arr.seed(i, i % npes);
+    double t0 = 0, t1 = -1;
+    h.rt.on_pe(0, [&] {
+      arr.broadcast<&Cell::init>();
+      h.rt.start_quiescence(Callback::to_function([&](ReductionResult&&) {
+        t0 = charm::now();
+        ft::checkpoint_to_file(h.rt, kCkptPath,
+                               Callback::to_function([&](ReductionResult&&) {
+                                 t1 = charm::now();
+                               }));
+      }));
+    });
+    h.machine.run();
+    return t1 - t0;
+  };
+  // More PEs => less data per PE => faster parallel checkpoint (Fig 8 right).
+  EXPECT_GT(ckpt_time(2), ckpt_time(16));
+  std::remove(kCkptPath);
+}
+
+TEST(MemCheckpoint, CheckpointAndRecoverFromFailure) {
+  Harness h(6);
+  auto arr = ArrayProxy<Cell>::create(h.rt);
+  for (int i = 0; i < 18; ++i) arr.seed(i, i % 6);
+  ft::MemCheckpointer ckpt(h.rt);
+  bool recovered = false;
+
+  h.rt.on_pe(0, [&] {
+    arr.broadcast<&Cell::init>();
+    arr.broadcast<&Cell::work>(Msg{5});
+    h.rt.start_quiescence(Callback::to_function([&](ReductionResult&&) {
+      ckpt.checkpoint(Callback::to_function([&](ReductionResult&&) {
+        // Progress AFTER the checkpoint: must be rolled back on recovery.
+        arr.broadcast<&Cell::work>(Msg{100});
+        h.rt.start_quiescence(Callback::to_function([&](ReductionResult&&) {
+          ckpt.fail_and_recover(3, Callback::to_function([&](ReductionResult&&) {
+            recovered = true;
+          }));
+        }));
+      }));
+    }));
+  });
+  h.machine.run();
+  ASSERT_TRUE(recovered);
+  EXPECT_GT(ckpt.checkpoint_bytes(), 0u);
+
+  // Every element must exist and reflect the checkpointed state (steps == 5),
+  // not the post-checkpoint progress.
+  for (int i = 0; i < 18; ++i) {
+    Cell* c = find_cell(h.rt, arr.id(), i);
+    ASSERT_NE(c, nullptr) << i;
+    EXPECT_EQ(c->steps, 5) << "element " << i << " was not rolled back";
+  }
+  // The recovered system is functional: run more work.
+  h.machine.resume();
+  h.rt.on_pe(0, [&] { arr.broadcast<&Cell::work>(Msg{1}); });
+  h.machine.run();
+  EXPECT_EQ(find_cell(h.rt, arr.id(), 7)->steps, 6);
+}
+
+TEST(MemCheckpoint, VictimElementsRestoredFromBuddy) {
+  Harness h(4);
+  auto arr = ArrayProxy<Cell>::create(h.rt);
+  for (int i = 0; i < 8; ++i) arr.seed(i, i % 4);
+  ft::MemCheckpointer ckpt(h.rt);
+  bool recovered = false;
+  std::vector<std::int32_t> victims_elements;
+  h.rt.on_pe(0, [&] {
+    arr.broadcast<&Cell::init>();
+    h.rt.start_quiescence(Callback::to_function([&](ReductionResult&&) {
+      ckpt.checkpoint(Callback::to_function([&](ReductionResult&&) {
+        for (auto& [ix, obj] : h.rt.collection(arr.id()).local(2).elems)
+          victims_elements.push_back(IndexTraits<std::int32_t>::decode(ix));
+        ckpt.fail_and_recover(2, Callback::to_function([&](ReductionResult&&) {
+          recovered = true;
+        }));
+      }));
+    }));
+  });
+  h.machine.run();
+  ASSERT_TRUE(recovered);
+  ASSERT_FALSE(victims_elements.empty());
+  for (std::int32_t ix : victims_elements) {
+    int pe = -1;
+    Cell* c = find_cell(h.rt, arr.id(), ix, &pe);
+    ASSERT_NE(c, nullptr);
+    EXPECT_EQ(pe, 2) << "restored onto the replacement PE";
+    EXPECT_EQ(c->data[0], static_cast<double>(ix));
+  }
+}
+
+TEST(MemCheckpoint, FailWithoutCheckpointThrows) {
+  Harness h(2);
+  ft::MemCheckpointer ckpt(h.rt);
+  EXPECT_THROW(ckpt.fail_and_recover(0, Callback::ignore()), std::logic_error);
+}
+
+TEST(MemCheckpoint, InMemoryFasterThanDisk) {
+  // The motivation for double in-memory checkpointing (§III-B).
+  Harness h(4);
+  auto arr = ArrayProxy<Cell>::create(h.rt);
+  for (int i = 0; i < 32; ++i) arr.seed(i, i % 4);
+  ft::MemCheckpointer mem(h.rt);
+  double t_mem = -1, t_disk = -1, t0 = 0;
+  h.rt.on_pe(0, [&] {
+    arr.broadcast<&Cell::init>();
+    t0 = charm::now();
+    mem.checkpoint(Callback::to_function([&](ReductionResult&&) {
+      t_mem = charm::now() - t0;
+      const double t1 = charm::now();
+      ft::checkpoint_to_file(h.rt, kCkptPath,
+                             Callback::to_function([&, t1](ReductionResult&&) {
+                               t_disk = charm::now() - t1;
+                             }));
+    }));
+  });
+  h.machine.run();
+  ASSERT_GT(t_mem, 0);
+  ASSERT_GT(t_disk, 0);
+  EXPECT_LT(t_mem, t_disk);
+  std::remove(kCkptPath);
+}
+
+// Parameterized: recovery works no matter which PE dies.
+class FailAnyPe : public ::testing::TestWithParam<int> {};
+
+TEST_P(FailAnyPe, RecoveryRestoresFullElementSet) {
+  const int victim = GetParam();
+  Harness h(5);
+  auto arr = ArrayProxy<Cell>::create(h.rt);
+  for (int i = 0; i < 20; ++i) arr.seed(i, i % 5);
+  ft::MemCheckpointer ckpt(h.rt);
+  bool recovered = false;
+  h.rt.on_pe(0, [&] {
+    arr.broadcast<&Cell::init>();
+    h.rt.start_quiescence(Callback::to_function([&](ReductionResult&&) {
+      ckpt.checkpoint(Callback::to_function([&](ReductionResult&&) {
+        ckpt.fail_and_recover(victim, Callback::to_function([&](ReductionResult&&) {
+          recovered = true;
+        }));
+      }));
+    }));
+  });
+  h.machine.run();
+  ASSERT_TRUE(recovered);
+  EXPECT_EQ(h.rt.collection(arr.id()).total_elements, 20);
+  for (int i = 0; i < 20; ++i) EXPECT_NE(find_cell(h.rt, arr.id(), i), nullptr) << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(Victims, FailAnyPe, ::testing::Values(0, 1, 2, 3, 4));
+
+}  // namespace
