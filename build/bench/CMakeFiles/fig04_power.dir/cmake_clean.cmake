@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_power.dir/fig04_power.cpp.o"
+  "CMakeFiles/fig04_power.dir/fig04_power.cpp.o.d"
+  "fig04_power"
+  "fig04_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_malleability.dir/fig05_malleability.cpp.o"
+  "CMakeFiles/fig05_malleability.dir/fig05_malleability.cpp.o.d"
+  "fig05_malleability"
+  "fig05_malleability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_malleability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_controlpoints.dir/fig06_controlpoints.cpp.o"
+  "CMakeFiles/fig06_controlpoints.dir/fig06_controlpoints.cpp.o.d"
+  "fig06_controlpoints"
+  "fig06_controlpoints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_controlpoints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_interop_sort.dir/fig07_interop_sort.cpp.o"
+  "CMakeFiles/fig07_interop_sort.dir/fig07_interop_sort.cpp.o.d"
+  "fig07_interop_sort"
+  "fig07_interop_sort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_interop_sort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

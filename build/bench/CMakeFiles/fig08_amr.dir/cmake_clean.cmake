@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_amr.dir/fig08_amr.cpp.o"
+  "CMakeFiles/fig08_amr.dir/fig08_amr.cpp.o.d"
+  "fig08_amr"
+  "fig08_amr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_amr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

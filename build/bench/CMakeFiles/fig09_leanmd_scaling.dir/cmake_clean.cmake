@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_leanmd_scaling.dir/fig09_leanmd_scaling.cpp.o"
+  "CMakeFiles/fig09_leanmd_scaling.dir/fig09_leanmd_scaling.cpp.o.d"
+  "fig09_leanmd_scaling"
+  "fig09_leanmd_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_leanmd_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

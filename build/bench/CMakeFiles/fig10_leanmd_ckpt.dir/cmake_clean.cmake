@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_leanmd_ckpt.dir/fig10_leanmd_ckpt.cpp.o"
+  "CMakeFiles/fig10_leanmd_ckpt.dir/fig10_leanmd_ckpt.cpp.o.d"
+  "fig10_leanmd_ckpt"
+  "fig10_leanmd_ckpt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_leanmd_ckpt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_namd_profiles.dir/fig11_namd_profiles.cpp.o"
+  "CMakeFiles/fig11_namd_profiles.dir/fig11_namd_profiles.cpp.o.d"
+  "fig11_namd_profiles"
+  "fig11_namd_profiles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_namd_profiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

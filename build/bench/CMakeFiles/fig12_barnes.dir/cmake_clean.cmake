@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_barnes.dir/fig12_barnes.cpp.o"
+  "CMakeFiles/fig12_barnes.dir/fig12_barnes.cpp.o.d"
+  "fig12_barnes"
+  "fig12_barnes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_barnes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

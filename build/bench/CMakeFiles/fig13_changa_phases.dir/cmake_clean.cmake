@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_changa_phases.dir/fig13_changa_phases.cpp.o"
+  "CMakeFiles/fig13_changa_phases.dir/fig13_changa_phases.cpp.o.d"
+  "fig13_changa_phases"
+  "fig13_changa_phases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_changa_phases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

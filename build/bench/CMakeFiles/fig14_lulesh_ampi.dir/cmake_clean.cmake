@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_lulesh_ampi.dir/fig14_lulesh_ampi.cpp.o"
+  "CMakeFiles/fig14_lulesh_ampi.dir/fig14_lulesh_ampi.cpp.o.d"
+  "fig14_lulesh_ampi"
+  "fig14_lulesh_ampi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_lulesh_ampi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

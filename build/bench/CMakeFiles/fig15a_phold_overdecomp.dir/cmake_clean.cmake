@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15a_phold_overdecomp.dir/fig15a_phold_overdecomp.cpp.o"
+  "CMakeFiles/fig15a_phold_overdecomp.dir/fig15a_phold_overdecomp.cpp.o.d"
+  "fig15a_phold_overdecomp"
+  "fig15a_phold_overdecomp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15a_phold_overdecomp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig15a_phold_overdecomp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15b_phold_tram.dir/fig15b_phold_tram.cpp.o"
+  "CMakeFiles/fig15b_phold_tram.dir/fig15b_phold_tram.cpp.o.d"
+  "fig15b_phold_tram"
+  "fig15b_phold_tram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15b_phold_tram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig15b_phold_tram.
+# This may be replaced when dependencies are built.

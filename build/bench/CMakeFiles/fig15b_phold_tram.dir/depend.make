@@ -1,0 +1,2 @@
+# Empty dependencies file for fig15b_phold_tram.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_cloud_stencil.dir/fig16_cloud_stencil.cpp.o"
+  "CMakeFiles/fig16_cloud_stencil.dir/fig16_cloud_stencil.cpp.o.d"
+  "fig16_cloud_stencil"
+  "fig16_cloud_stencil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_cloud_stencil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_cloud_leanmd.dir/fig17_cloud_leanmd.cpp.o"
+  "CMakeFiles/fig17_cloud_leanmd.dir/fig17_cloud_leanmd.cpp.o.d"
+  "fig17_cloud_leanmd"
+  "fig17_cloud_leanmd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_cloud_leanmd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ampi_pi.dir/ampi_pi.cpp.o"
+  "CMakeFiles/ampi_pi.dir/ampi_pi.cpp.o.d"
+  "ampi_pi"
+  "ampi_pi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ampi_pi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

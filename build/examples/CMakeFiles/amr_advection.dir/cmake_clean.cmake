@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amr_advection.dir/amr_advection.cpp.o"
+  "CMakeFiles/amr_advection.dir/amr_advection.cpp.o.d"
+  "amr_advection"
+  "amr_advection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amr_advection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

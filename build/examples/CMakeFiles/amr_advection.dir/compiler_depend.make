@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for amr_advection.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for amr_advection.
+# This may be replaced when dependencies are built.

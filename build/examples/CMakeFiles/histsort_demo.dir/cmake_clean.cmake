@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/histsort_demo.dir/histsort_demo.cpp.o"
+  "CMakeFiles/histsort_demo.dir/histsort_demo.cpp.o.d"
+  "histsort_demo"
+  "histsort_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/histsort_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jacobi2d.dir/jacobi2d.cpp.o"
+  "CMakeFiles/jacobi2d.dir/jacobi2d.cpp.o.d"
+  "jacobi2d"
+  "jacobi2d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jacobi2d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leanmd_mini.dir/leanmd_mini.cpp.o"
+  "CMakeFiles/leanmd_mini.dir/leanmd_mini.cpp.o.d"
+  "leanmd_mini"
+  "leanmd_mini.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leanmd_mini.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for leanmd_mini.
+# This may be replaced when dependencies are built.

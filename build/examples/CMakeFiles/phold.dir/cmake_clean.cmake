@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phold.dir/phold.cpp.o"
+  "CMakeFiles/phold.dir/phold.cpp.o.d"
+  "phold"
+  "phold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

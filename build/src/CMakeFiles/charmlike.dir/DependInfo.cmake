@@ -1,0 +1,54 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ampi/ampi.cpp" "src/CMakeFiles/charmlike.dir/ampi/ampi.cpp.o" "gcc" "src/CMakeFiles/charmlike.dir/ampi/ampi.cpp.o.d"
+  "/root/repo/src/ampi/ult.cpp" "src/CMakeFiles/charmlike.dir/ampi/ult.cpp.o" "gcc" "src/CMakeFiles/charmlike.dir/ampi/ult.cpp.o.d"
+  "/root/repo/src/ft/checkpoint.cpp" "src/CMakeFiles/charmlike.dir/ft/checkpoint.cpp.o" "gcc" "src/CMakeFiles/charmlike.dir/ft/checkpoint.cpp.o.d"
+  "/root/repo/src/ft/mem_checkpoint.cpp" "src/CMakeFiles/charmlike.dir/ft/mem_checkpoint.cpp.o" "gcc" "src/CMakeFiles/charmlike.dir/ft/mem_checkpoint.cpp.o.d"
+  "/root/repo/src/lb/distributed_lb.cpp" "src/CMakeFiles/charmlike.dir/lb/distributed_lb.cpp.o" "gcc" "src/CMakeFiles/charmlike.dir/lb/distributed_lb.cpp.o.d"
+  "/root/repo/src/lb/instrumentation.cpp" "src/CMakeFiles/charmlike.dir/lb/instrumentation.cpp.o" "gcc" "src/CMakeFiles/charmlike.dir/lb/instrumentation.cpp.o.d"
+  "/root/repo/src/lb/manager.cpp" "src/CMakeFiles/charmlike.dir/lb/manager.cpp.o" "gcc" "src/CMakeFiles/charmlike.dir/lb/manager.cpp.o.d"
+  "/root/repo/src/lb/meta_lb.cpp" "src/CMakeFiles/charmlike.dir/lb/meta_lb.cpp.o" "gcc" "src/CMakeFiles/charmlike.dir/lb/meta_lb.cpp.o.d"
+  "/root/repo/src/lb/orb_lb.cpp" "src/CMakeFiles/charmlike.dir/lb/orb_lb.cpp.o" "gcc" "src/CMakeFiles/charmlike.dir/lb/orb_lb.cpp.o.d"
+  "/root/repo/src/lb/strategies.cpp" "src/CMakeFiles/charmlike.dir/lb/strategies.cpp.o" "gcc" "src/CMakeFiles/charmlike.dir/lb/strategies.cpp.o.d"
+  "/root/repo/src/malleability/malleability.cpp" "src/CMakeFiles/charmlike.dir/malleability/malleability.cpp.o" "gcc" "src/CMakeFiles/charmlike.dir/malleability/malleability.cpp.o.d"
+  "/root/repo/src/miniapps/amr/amr.cpp" "src/CMakeFiles/charmlike.dir/miniapps/amr/amr.cpp.o" "gcc" "src/CMakeFiles/charmlike.dir/miniapps/amr/amr.cpp.o.d"
+  "/root/repo/src/miniapps/barnes/barnes.cpp" "src/CMakeFiles/charmlike.dir/miniapps/barnes/barnes.cpp.o" "gcc" "src/CMakeFiles/charmlike.dir/miniapps/barnes/barnes.cpp.o.d"
+  "/root/repo/src/miniapps/leanmd/leanmd.cpp" "src/CMakeFiles/charmlike.dir/miniapps/leanmd/leanmd.cpp.o" "gcc" "src/CMakeFiles/charmlike.dir/miniapps/leanmd/leanmd.cpp.o.d"
+  "/root/repo/src/miniapps/lulesh/lulesh.cpp" "src/CMakeFiles/charmlike.dir/miniapps/lulesh/lulesh.cpp.o" "gcc" "src/CMakeFiles/charmlike.dir/miniapps/lulesh/lulesh.cpp.o.d"
+  "/root/repo/src/miniapps/pdes/pdes.cpp" "src/CMakeFiles/charmlike.dir/miniapps/pdes/pdes.cpp.o" "gcc" "src/CMakeFiles/charmlike.dir/miniapps/pdes/pdes.cpp.o.d"
+  "/root/repo/src/miniapps/stencil/stencil.cpp" "src/CMakeFiles/charmlike.dir/miniapps/stencil/stencil.cpp.o" "gcc" "src/CMakeFiles/charmlike.dir/miniapps/stencil/stencil.cpp.o.d"
+  "/root/repo/src/power/power_manager.cpp" "src/CMakeFiles/charmlike.dir/power/power_manager.cpp.o" "gcc" "src/CMakeFiles/charmlike.dir/power/power_manager.cpp.o.d"
+  "/root/repo/src/power/thermal.cpp" "src/CMakeFiles/charmlike.dir/power/thermal.cpp.o" "gcc" "src/CMakeFiles/charmlike.dir/power/thermal.cpp.o.d"
+  "/root/repo/src/pup/pup.cpp" "src/CMakeFiles/charmlike.dir/pup/pup.cpp.o" "gcc" "src/CMakeFiles/charmlike.dir/pup/pup.cpp.o.d"
+  "/root/repo/src/runtime/callback.cpp" "src/CMakeFiles/charmlike.dir/runtime/callback.cpp.o" "gcc" "src/CMakeFiles/charmlike.dir/runtime/callback.cpp.o.d"
+  "/root/repo/src/runtime/collection.cpp" "src/CMakeFiles/charmlike.dir/runtime/collection.cpp.o" "gcc" "src/CMakeFiles/charmlike.dir/runtime/collection.cpp.o.d"
+  "/root/repo/src/runtime/index.cpp" "src/CMakeFiles/charmlike.dir/runtime/index.cpp.o" "gcc" "src/CMakeFiles/charmlike.dir/runtime/index.cpp.o.d"
+  "/root/repo/src/runtime/location.cpp" "src/CMakeFiles/charmlike.dir/runtime/location.cpp.o" "gcc" "src/CMakeFiles/charmlike.dir/runtime/location.cpp.o.d"
+  "/root/repo/src/runtime/quiescence.cpp" "src/CMakeFiles/charmlike.dir/runtime/quiescence.cpp.o" "gcc" "src/CMakeFiles/charmlike.dir/runtime/quiescence.cpp.o.d"
+  "/root/repo/src/runtime/reduction.cpp" "src/CMakeFiles/charmlike.dir/runtime/reduction.cpp.o" "gcc" "src/CMakeFiles/charmlike.dir/runtime/reduction.cpp.o.d"
+  "/root/repo/src/runtime/registry.cpp" "src/CMakeFiles/charmlike.dir/runtime/registry.cpp.o" "gcc" "src/CMakeFiles/charmlike.dir/runtime/registry.cpp.o.d"
+  "/root/repo/src/runtime/runtime.cpp" "src/CMakeFiles/charmlike.dir/runtime/runtime.cpp.o" "gcc" "src/CMakeFiles/charmlike.dir/runtime/runtime.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/CMakeFiles/charmlike.dir/sim/event_queue.cpp.o" "gcc" "src/CMakeFiles/charmlike.dir/sim/event_queue.cpp.o.d"
+  "/root/repo/src/sim/machine.cpp" "src/CMakeFiles/charmlike.dir/sim/machine.cpp.o" "gcc" "src/CMakeFiles/charmlike.dir/sim/machine.cpp.o.d"
+  "/root/repo/src/sim/network.cpp" "src/CMakeFiles/charmlike.dir/sim/network.cpp.o" "gcc" "src/CMakeFiles/charmlike.dir/sim/network.cpp.o.d"
+  "/root/repo/src/sim/topology.cpp" "src/CMakeFiles/charmlike.dir/sim/topology.cpp.o" "gcc" "src/CMakeFiles/charmlike.dir/sim/topology.cpp.o.d"
+  "/root/repo/src/sort/histsort.cpp" "src/CMakeFiles/charmlike.dir/sort/histsort.cpp.o" "gcc" "src/CMakeFiles/charmlike.dir/sort/histsort.cpp.o.d"
+  "/root/repo/src/sort/mergesort.cpp" "src/CMakeFiles/charmlike.dir/sort/mergesort.cpp.o" "gcc" "src/CMakeFiles/charmlike.dir/sort/mergesort.cpp.o.d"
+  "/root/repo/src/tram/tram.cpp" "src/CMakeFiles/charmlike.dir/tram/tram.cpp.o" "gcc" "src/CMakeFiles/charmlike.dir/tram/tram.cpp.o.d"
+  "/root/repo/src/tuning/control_point.cpp" "src/CMakeFiles/charmlike.dir/tuning/control_point.cpp.o" "gcc" "src/CMakeFiles/charmlike.dir/tuning/control_point.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

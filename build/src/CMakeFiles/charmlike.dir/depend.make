@@ -1,0 +1,2 @@
+# Empty dependencies file for charmlike.
+# This may be replaced when dependencies are built.

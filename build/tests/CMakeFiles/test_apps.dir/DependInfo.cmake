@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/apps/test_ampi.cpp" "tests/CMakeFiles/test_apps.dir/apps/test_ampi.cpp.o" "gcc" "tests/CMakeFiles/test_apps.dir/apps/test_ampi.cpp.o.d"
+  "/root/repo/tests/apps/test_amr.cpp" "tests/CMakeFiles/test_apps.dir/apps/test_amr.cpp.o" "gcc" "tests/CMakeFiles/test_apps.dir/apps/test_amr.cpp.o.d"
+  "/root/repo/tests/apps/test_barnes_lulesh.cpp" "tests/CMakeFiles/test_apps.dir/apps/test_barnes_lulesh.cpp.o" "gcc" "tests/CMakeFiles/test_apps.dir/apps/test_barnes_lulesh.cpp.o.d"
+  "/root/repo/tests/apps/test_integration.cpp" "tests/CMakeFiles/test_apps.dir/apps/test_integration.cpp.o" "gcc" "tests/CMakeFiles/test_apps.dir/apps/test_integration.cpp.o.d"
+  "/root/repo/tests/apps/test_leanmd.cpp" "tests/CMakeFiles/test_apps.dir/apps/test_leanmd.cpp.o" "gcc" "tests/CMakeFiles/test_apps.dir/apps/test_leanmd.cpp.o.d"
+  "/root/repo/tests/apps/test_sort.cpp" "tests/CMakeFiles/test_apps.dir/apps/test_sort.cpp.o" "gcc" "tests/CMakeFiles/test_apps.dir/apps/test_sort.cpp.o.d"
+  "/root/repo/tests/apps/test_stencil_pdes.cpp" "tests/CMakeFiles/test_apps.dir/apps/test_stencil_pdes.cpp.o" "gcc" "tests/CMakeFiles/test_apps.dir/apps/test_stencil_pdes.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/charmlike.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

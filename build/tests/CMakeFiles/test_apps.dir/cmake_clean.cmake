@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apps.dir/apps/test_ampi.cpp.o"
+  "CMakeFiles/test_apps.dir/apps/test_ampi.cpp.o.d"
+  "CMakeFiles/test_apps.dir/apps/test_amr.cpp.o"
+  "CMakeFiles/test_apps.dir/apps/test_amr.cpp.o.d"
+  "CMakeFiles/test_apps.dir/apps/test_barnes_lulesh.cpp.o"
+  "CMakeFiles/test_apps.dir/apps/test_barnes_lulesh.cpp.o.d"
+  "CMakeFiles/test_apps.dir/apps/test_integration.cpp.o"
+  "CMakeFiles/test_apps.dir/apps/test_integration.cpp.o.d"
+  "CMakeFiles/test_apps.dir/apps/test_leanmd.cpp.o"
+  "CMakeFiles/test_apps.dir/apps/test_leanmd.cpp.o.d"
+  "CMakeFiles/test_apps.dir/apps/test_sort.cpp.o"
+  "CMakeFiles/test_apps.dir/apps/test_sort.cpp.o.d"
+  "CMakeFiles/test_apps.dir/apps/test_stencil_pdes.cpp.o"
+  "CMakeFiles/test_apps.dir/apps/test_stencil_pdes.cpp.o.d"
+  "test_apps"
+  "test_apps.pdb"
+  "test_apps[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

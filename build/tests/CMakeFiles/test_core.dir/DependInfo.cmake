@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_collectives.cpp" "tests/CMakeFiles/test_core.dir/core/test_collectives.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_collectives.cpp.o.d"
+  "/root/repo/tests/core/test_location.cpp" "tests/CMakeFiles/test_core.dir/core/test_location.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_location.cpp.o.d"
+  "/root/repo/tests/core/test_pup.cpp" "tests/CMakeFiles/test_core.dir/core/test_pup.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_pup.cpp.o.d"
+  "/root/repo/tests/core/test_runtime_basic.cpp" "tests/CMakeFiles/test_core.dir/core/test_runtime_basic.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_runtime_basic.cpp.o.d"
+  "/root/repo/tests/core/test_sim.cpp" "tests/CMakeFiles/test_core.dir/core/test_sim.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_sim.cpp.o.d"
+  "/root/repo/tests/core/test_topology.cpp" "tests/CMakeFiles/test_core.dir/core/test_topology.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/charmlike.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

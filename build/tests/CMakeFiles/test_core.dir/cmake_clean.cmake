@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_collectives.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_collectives.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_location.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_location.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_pup.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_pup.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_runtime_basic.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_runtime_basic.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_sim.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_sim.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_topology.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_topology.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

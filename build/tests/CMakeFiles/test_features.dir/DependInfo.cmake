@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/features/test_ft.cpp" "tests/CMakeFiles/test_features.dir/features/test_ft.cpp.o" "gcc" "tests/CMakeFiles/test_features.dir/features/test_ft.cpp.o.d"
+  "/root/repo/tests/features/test_lb.cpp" "tests/CMakeFiles/test_features.dir/features/test_lb.cpp.o" "gcc" "tests/CMakeFiles/test_features.dir/features/test_lb.cpp.o.d"
+  "/root/repo/tests/features/test_power_tuning.cpp" "tests/CMakeFiles/test_features.dir/features/test_power_tuning.cpp.o" "gcc" "tests/CMakeFiles/test_features.dir/features/test_power_tuning.cpp.o.d"
+  "/root/repo/tests/features/test_tram_malleability.cpp" "tests/CMakeFiles/test_features.dir/features/test_tram_malleability.cpp.o" "gcc" "tests/CMakeFiles/test_features.dir/features/test_tram_malleability.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/charmlike.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

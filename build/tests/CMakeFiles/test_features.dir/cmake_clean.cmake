@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_features.dir/features/test_ft.cpp.o"
+  "CMakeFiles/test_features.dir/features/test_ft.cpp.o.d"
+  "CMakeFiles/test_features.dir/features/test_lb.cpp.o"
+  "CMakeFiles/test_features.dir/features/test_lb.cpp.o.d"
+  "CMakeFiles/test_features.dir/features/test_power_tuning.cpp.o"
+  "CMakeFiles/test_features.dir/features/test_power_tuning.cpp.o.d"
+  "CMakeFiles/test_features.dir/features/test_tram_malleability.cpp.o"
+  "CMakeFiles/test_features.dir/features/test_tram_malleability.cpp.o.d"
+  "test_features"
+  "test_features.pdb"
+  "test_features[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
