@@ -22,6 +22,7 @@ struct Outcome {
 
 Outcome run_with(const char* which) {
   sim::Machine m(bench::machine_config(16));
+  bench::attach_trace(m);
   Runtime rt(m);
   leanmd::Params p;
   p.nx = p.ny = p.nz = 5;
@@ -47,7 +48,7 @@ Outcome run_with(const char* which) {
 
   bool done = false;
   rt.on_pe(0, [&] {
-    sim.run(12, Callback::to_function([&](ReductionResult&&) {
+    sim.run(bench::cap_steps(12, 5), Callback::to_function([&](ReductionResult&&) {
       done = true;
       rt.exit();
     }));
@@ -66,7 +67,8 @@ Outcome run_with(const char* which) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (bench::parse_args(argc, argv) != 0) return 1;
   bench::header("Ablation", "LB strategies on clustered LeanMD (16 PEs, 125 cells)");
   std::printf("%16s%16s%16s%16s\n", "strategy", "makespan_s", "migrations", "final_imb");
   for (const char* s : {"NoLB", "Greedy", "Refine", "Hybrid", "Orb", "Distributed"}) {
@@ -75,5 +77,5 @@ int main() {
   }
   bench::note("expected: every strategy beats NoLB; Refine moves far fewer chares than Greedy;");
   bench::note("Distributed lands between Refine and Greedy with no central state");
-  return 0;
+  return bench::finish();
 }

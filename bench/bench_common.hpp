@@ -1,13 +1,25 @@
 #pragma once
-// Shared helpers for the figure-reproduction benches: machine construction
-// and paper-style table output.  Every bench prints the series the paper
-// plots; EXPERIMENTS.md records the paper-vs-measured comparison.
+// Shared helpers for the figure-reproduction benches: machine construction,
+// paper-style table output, and the common command-line flags.  Every bench
+// prints the series the paper plots; EXPERIMENTS.md records the
+// paper-vs-measured comparison.
+//
+// Flags (parsed by bench::parse_args, accepted by every figure binary):
+//   --smoke        shrink PE series / step counts to a CI-sized sanity run
+//   --trace=FILE   attach a tracer to each simulated machine and write the
+//                  LAST traced run as Chrome trace_event JSON to FILE
+//                  (open in chrome://tracing or ui.perfetto.dev)
 
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
 #include "runtime/charm.hpp"
+#include "trace/chrome_export.hpp"
+#include "trace/summary.hpp"
+#include "trace/time_profile.hpp"
+#include "trace/trace.hpp"
 
 namespace bench {
 
@@ -41,6 +53,105 @@ inline void note(const std::string& s) { std::printf("   %s\n", s.c_str()); }
 inline double run_to_completion(sim::Machine& m) {
   m.run();
   return m.max_pe_clock();
+}
+
+// ---- common flags ------------------------------------------------------------
+
+struct Options {
+  bool smoke = false;       ///< tiny PE counts / few steps (CI sanity mode)
+  std::string trace_file;   ///< Chrome trace_event output ("" = tracing off)
+};
+
+inline Options& options() {
+  static Options o;
+  return o;
+}
+
+/// Parses --smoke and --trace=FILE; rejects anything else so typos fail CI.
+inline int parse_args(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strcmp(a, "--smoke") == 0) {
+      options().smoke = true;
+    } else if (std::strncmp(a, "--trace=", 8) == 0 && a[8] != '\0') {
+      options().trace_file = a + 8;
+    } else {
+      std::fprintf(stderr, "%s: unknown argument '%s' (expected --smoke or --trace=FILE)\n",
+                   argv[0], a);
+      return 1;
+    }
+  }
+  return 0;
+}
+
+inline bool smoke() { return options().smoke; }
+
+/// Full series normally; the first `smoke_keep` entries under --smoke.
+inline std::vector<int> pe_series(std::vector<int> full, std::size_t smoke_keep = 2) {
+  if (smoke() && full.size() > smoke_keep) full.resize(smoke_keep);
+  return full;
+}
+
+/// Step/iteration count, capped under --smoke.
+inline int cap_steps(int steps, int smoke_steps = 2) {
+  return smoke() ? std::min(steps, smoke_steps) : steps;
+}
+
+/// The shared trace log (one per bench process; each traced machine resets
+/// it, so the written file holds the last traced run).
+inline trace::Tracer& shared_tracer() {
+  static trace::Tracer t;
+  return t;
+}
+
+/// Attaches the shared tracer to `m` when --trace=FILE was given.  Call right
+/// after constructing each machine.
+inline void attach_trace(sim::Machine& m) {
+  if (options().trace_file.empty()) return;
+  shared_tracer().clear();
+  m.set_tracer(&shared_tracer());
+}
+
+/// Labels entry spans with registered names (Registry::name_entry).
+inline trace::EntryLabeler entry_labeler() {
+  return [](int col, int ep) -> std::string {
+    if (ep < 0) return "col" + std::to_string(col) + ".apply";
+    const std::string& n = charm::Registry::instance().entry_name(ep);
+    if (!n.empty()) return n;
+    return "col" + std::to_string(col) + ".ep" + std::to_string(ep);
+  };
+}
+
+/// Writes the accumulated trace (if any) and returns the process exit code.
+/// Call as the last statement of main: `return bench::finish();`
+inline int finish() {
+  if (options().trace_file.empty()) return 0;
+  const trace::Tracer& t = shared_tracer();
+  if (!trace::write_chrome_trace_file(t, options().trace_file, entry_labeler())) {
+    std::fprintf(stderr, "failed to write trace to %s\n", options().trace_file.c_str());
+    return 1;
+  }
+  std::printf("   trace: %zu events -> %s (open in chrome://tracing)\n", t.size(),
+              options().trace_file.c_str());
+  if (t.dropped() > 0)
+    std::printf("   trace: WARNING %llu events dropped at the buffer cap\n",
+                static_cast<unsigned long long>(t.dropped()));
+  return 0;
+}
+
+/// Prints a Fig 11-style per-interval utilization profile of the last traced
+/// run: busy / overhead / idle fractions per bin, averaged over PEs.
+inline void print_time_profile(int npes, int nbins) {
+  if (options().trace_file.empty()) return;
+  const trace::TimeProfile p = trace::build_time_profile(shared_tracer(), npes, nbins);
+  std::printf("   time profile (%d bins of %.3g ms, mean over %d PEs):\n", p.nbins,
+              p.bin_width * 1e3, p.npes);
+  std::printf("%16s%16s%16s%16s%16s\n", "bin_start_ms", "busy", "overhead", "idle", "sum");
+  for (int b = 0; b < p.nbins; ++b) {
+    const trace::ProfileBin& bin = p.mean[static_cast<std::size_t>(b)];
+    std::printf("%16.4f%16.4f%16.4f%16.4f%16.4f\n", (p.t0 + b * p.bin_width) * 1e3,
+                bin.busy, bin.overhead, bin.idle, bin.busy + bin.overhead + bin.idle);
+  }
 }
 
 }  // namespace bench

@@ -24,6 +24,7 @@ struct Outcome {
 Outcome run_policy(power::Policy policy, double lb_period, bool meta) {
   sim::Machine m(bench::machine_config(16, sim::NetworkParams::bluegene_q(),
                                        /*pes_per_chip=*/4));
+  bench::attach_trace(m);
   Runtime rt(m);
   stencil::Params sp;
   sp.grid = 512;
@@ -45,7 +46,7 @@ Outcome run_policy(power::Policy policy, double lb_period, bool meta) {
 
   bool done = false;
   rt.on_pe(0, [&] {
-    sim.run(600, Callback::to_function([&](ReductionResult&&) {
+    sim.run(bench::cap_steps(600, 40), Callback::to_function([&](ReductionResult&&) {
       done = true;
       rt.exit();
     }));
@@ -61,7 +62,8 @@ Outcome run_policy(power::Policy policy, double lb_period, bool meta) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (bench::parse_args(argc, argv) != 0) return 1;
   bench::header("Figure 4", "DVFS timing penalty and max chip temperature (threshold 50C)");
   bench::columns({"scheme", "exec_s", "max_temp_C"});
 
@@ -84,5 +86,5 @@ int main() {
   }
   bench::note("paper shape: Base is fastest but hot (>threshold); Naive DVFS pays the largest");
   bench::note("timing penalty; LB_10s/LB_5s shrink it; MetaTemp performs best while staying cool");
-  return 0;
+  return bench::finish();
 }

@@ -9,11 +9,13 @@
 #include "malleability/malleability.hpp"
 #include "miniapps/leanmd/leanmd.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  if (bench::parse_args(argc, argv) != 0) return 1;
   using namespace charm;
   bench::header("Figure 5", "LeanMD shrink 32->16 then expand 16->32 (Stampede-like run)");
 
   sim::Machine m(bench::machine_config(32, sim::NetworkParams::cray_gemini()));
+  bench::attach_trace(m);
   Runtime rt(m);
   leanmd::Params p;
   p.nx = p.ny = p.nz = 6;
@@ -24,7 +26,7 @@ int main() {
   rt.lb().set_strategy(lb::make_greedy());
   ccs::Server ccs(rt);
 
-  const int phase_steps = 25;
+  const int phase_steps = bench::cap_steps(25, 6);
   bool all_done = false;
   rt.on_pe(0, [&] {
     sim.run(phase_steps, Callback::to_function([&](ReductionResult&&) {
@@ -55,5 +57,5 @@ int main() {
   }
   bench::note("paper shape: step time ~doubles on shrink, recovers on expand;");
   bench::note("spikes at the shrink/expand iterations are the reconfiguration (process restart) cost");
-  return 0;
+  return bench::finish();
 }

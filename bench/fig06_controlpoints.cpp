@@ -54,12 +54,14 @@ Callback Pinger::step_done;
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (bench::parse_args(argc, argv) != 0) return 1;
   using namespace charm;
   bench::header("Figure 6", "tuning pipeline message count in a ping benchmark");
   bench::columns({"step", "pipeline_k", "step_ms"});
 
   sim::Machine m(bench::machine_config(2));
+  bench::attach_trace(m);
   Runtime rt(m);
   auto arr = ArrayProxy<Pinger>::create(rt);
   arr.seed(0, 0);
@@ -68,7 +70,7 @@ int main() {
   tuning::ControlPoint cp("pipeline_num", 1, 256, 2, tuning::EffectHint::kMoreParallelism);
   tuning::Tuner tuner(cp, {.warmup_steps = 1, .window_steps = 2, .improve_margin = 0.02});
 
-  const int total_steps = 60;
+  const int total_steps = bench::cap_steps(60, 8);
   int step = 0;
   double step_start = 0;
 
@@ -103,5 +105,5 @@ int main() {
               tuner.converged() ? 1 : 0, tuner.best_value(), tuner.best_metric(),
               tuner.probes());
   bench::note("paper shape: step time oscillates during probing, then stabilizes at the optimum");
-  return 0;
+  return bench::finish();
 }

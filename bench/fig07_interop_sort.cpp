@@ -16,6 +16,7 @@ namespace {
 double time_sort(int npes, bool hist, std::size_t keys_per_pe) {
   using namespace charm;
   sim::Machine m(bench::machine_config(npes, sim::NetworkParams::cray_gemini()));
+  bench::attach_trace(m);
   Runtime rt(m);
   sortlib::SortParams sp;
   sp.samples_per_pe = 0;  // baseline ships all keys to the root
@@ -38,7 +39,8 @@ double time_sort(int npes, bool hist, std::size_t keys_per_pe) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (bench::parse_args(argc, argv) != 0) return 1;
   bench::header("Figure 7",
                 "CHARM: useful computation vs MPI multiway-merge sort vs Charm++ HistSort");
   bench::columns({"PEs", "useful_ms", "merge_ms", "hist_ms", "merge_share%", "hist_share%"});
@@ -47,12 +49,12 @@ int main() {
   // "Useful computation" per step, weak-scaled like CHARM's hydro phase.
   const double useful_s = 30e-3;
 
-  for (int p : {8, 32, 128, 512}) {
+  for (int p : bench::pe_series({8, 32, 128, 512})) {
     const double merge = time_sort(p, /*hist=*/false, keys_per_pe);
     const double hist = time_sort(p, /*hist=*/true, keys_per_pe);
     bench::row({static_cast<double>(p), useful_s * 1e3, merge * 1e3, hist * 1e3,
                 100.0 * merge / (useful_s + merge), 100.0 * hist / (useful_s + hist)});
   }
   bench::note("paper shape: MPI sort share grows with PEs (23% @4096), HistSort stays ~flat (2%)");
-  return 0;
+  return bench::finish();
 }

@@ -20,6 +20,7 @@ amr::Params bench_params() {
 
 double time_per_step(int npes, bool distributed_lb) {
   sim::Machine m(bench::machine_config(npes));
+  bench::attach_trace(m);
   Runtime rt(m);
   amr::Mesh mesh(rt, bench_params());
   if (distributed_lb) {
@@ -27,7 +28,7 @@ double time_per_step(int npes, bool distributed_lb) {
     rt.lb().set_period(4);
   }
   bool done = false;
-  const int chunks = 4, steps = 6;
+  const int chunks = bench::cap_steps(4, 2), steps = bench::cap_steps(6, 2);
   rt.on_pe(0, [&] {
     mesh.run(chunks, steps, Callback::to_function([&](ReductionResult&&) { done = true; }));
   });
@@ -38,6 +39,7 @@ double time_per_step(int npes, bool distributed_lb) {
 
 std::pair<double, double> ckpt_restart_times(int npes) {
   sim::Machine m(bench::machine_config(npes));
+  bench::attach_trace(m);
   Runtime rt(m);
   amr::Mesh mesh(rt, bench_params());
   ft::MemCheckpointer ckpt(rt);
@@ -61,11 +63,12 @@ std::pair<double, double> ckpt_restart_times(int npes) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (bench::parse_args(argc, argv) != 0) return 1;
   bench::header("Figure 8 (left)", "AMR3D strong scaling: NoLB vs DistributedLB vs ideal");
   bench::columns({"PEs", "NoLB_s/step", "DistLB_s/step", "ideal_s/step"});
   double base = -1;
-  for (int p : {8, 16, 32, 64}) {
+  for (int p : bench::pe_series({8, 16, 32, 64})) {
     const double nolb = time_per_step(p, false);
     const double dist = time_per_step(p, true);
     if (base < 0) base = dist * p;
@@ -76,11 +79,11 @@ int main() {
 
   bench::header("Figure 8 (right)", "AMR3D in-memory checkpoint and restart time vs PEs");
   bench::columns({"PEs", "checkpoint_ms", "restart_ms"});
-  for (int p : {8, 16, 32, 64}) {
+  for (int p : bench::pe_series({8, 16, 32, 64})) {
     auto [c, r] = ckpt_restart_times(p);
     bench::row({static_cast<double>(p), c * 1e3, r * 1e3});
   }
   bench::note("paper shape: both fall as PEs grow (checkpoint 394ms@2K -> 29ms@32K;");
   bench::note("restart 2.24s@2K -> 470ms@32K)");
-  return 0;
+  return bench::finish();
 }

@@ -20,13 +20,14 @@ leanmd::Params bench_params() {
 
 double time_per_step(int npes, bool with_lb) {
   sim::Machine m(bench::machine_config(npes));
+  bench::attach_trace(m);
   Runtime rt(m);
   leanmd::Simulation sim(rt, bench_params());
   if (with_lb) {
     rt.lb().set_strategy(lb::make_refine(1.05));
     rt.lb().set_period(4);
   }
-  const int steps = 10;
+  const int steps = bench::cap_steps(10, 3);
   bool done = false;
   rt.on_pe(0, [&] {
     sim.run(steps, Callback::to_function([&](ReductionResult&&) {
@@ -41,18 +42,19 @@ double time_per_step(int npes, bool with_lb) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (bench::parse_args(argc, argv) != 0) return 1;
   bench::header("Figure 9", "LeanMD speedup: With LB vs No LB vs ideal");
   bench::columns({"PEs", "NoLB_ms/step", "LB_ms/step", "speedup_NoLB", "speedup_LB", "ideal"});
   const int base_p = 4;
   const double t0_nolb = time_per_step(base_p, false);
   const double t0_lb = time_per_step(base_p, true);
-  for (int p : {4, 8, 16, 32, 64}) {
+  for (int p : bench::pe_series({4, 8, 16, 32, 64})) {
     const double nolb = p == base_p ? t0_nolb : time_per_step(p, false);
     const double lb = p == base_p ? t0_lb : time_per_step(p, true);
     bench::row({static_cast<double>(p), nolb * 1e3, lb * 1e3, base_p * t0_nolb / nolb,
                 base_p * t0_lb / lb, static_cast<double>(p)});
   }
   bench::note("paper shape: LB curve tracks ideal much closer; >= 40% gain over NoLB at scale");
-  return 0;
+  return bench::finish();
 }

@@ -12,6 +12,7 @@ using namespace charm;
 
 std::pair<double, double> times(int npes, int cells_per_dim) {
   sim::Machine m(bench::machine_config(npes));
+  bench::attach_trace(m);
   Runtime rt(m);
   leanmd::Params p;
   p.nx = p.ny = p.nz = static_cast<std::int16_t>(cells_per_dim);
@@ -39,15 +40,16 @@ std::pair<double, double> times(int npes, int cells_per_dim) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (bench::parse_args(argc, argv) != 0) return 1;
   bench::header("Figure 10", "LeanMD in-memory checkpoint/restart, two system sizes");
   bench::columns({"PEs", "big_ckpt_ms", "small_ckpt_ms", "big_restart_ms", "small_restart_ms"});
-  for (int p : {8, 16, 32, 64}) {
+  for (int p : bench::pe_series({8, 16, 32, 64})) {
     auto [cb, rb] = times(p, 8);  // "2.8M-atom" analogue
     auto [cs, rs] = times(p, 6);  // "1.6M-atom" analogue
     bench::row({static_cast<double>(p), cb * 1e3, cs * 1e3, rb * 1e3, rs * 1e3});
   }
   bench::note("paper shape: checkpoint time falls with PEs (less data per PE, 43ms->33ms);");
   bench::note("restart time creeps up with PEs (recovery barriers, 66ms->139ms)");
-  return 0;
+  return bench::finish();
 }

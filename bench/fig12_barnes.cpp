@@ -10,6 +10,7 @@ using namespace charm;
 
 double time_per_step(int npes, int pieces_per_dim, bool with_lb) {
   sim::Machine m(bench::machine_config(npes, sim::NetworkParams::cray_gemini()));
+  bench::attach_trace(m);
   Runtime rt(m);
   barnes::Params p;
   p.pieces_per_dim = pieces_per_dim;
@@ -20,7 +21,7 @@ double time_per_step(int npes, int pieces_per_dim, bool with_lb) {
     rt.lb().set_strategy(lb::make_orb());
     rt.lb().set_period(2);
   }
-  const int steps = 4;
+  const int steps = bench::cap_steps(4, 2);
   bool done = false;
   rt.on_pe(0, [&] {
     sim.run(steps, Callback::to_function([&](ReductionResult&&) {
@@ -41,10 +42,11 @@ int cube_side_at_least(int n) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (bench::parse_args(argc, argv) != 0) return 1;
   bench::header("Figure 12", "Barnes-Hut time/step: overdecomp+ORB LB vs no LB vs 1 piece/PE");
   bench::columns({"PEs", "LB_ms", "NoLB_ms", "OnePerPE_ms"});
-  for (int p : {8, 16, 32, 64}) {
+  for (int p : bench::pe_series({8, 16, 32, 64})) {
     const int over = 6;  // 216 pieces: heavy over-decomposition
     const double lb = time_per_step(p, over, true);
     const double nolb = time_per_step(p, over, false);
@@ -53,5 +55,5 @@ int main() {
   }
   bench::note("paper shape: over-decomposition+LB wins (~40% over one-object-per-PE);");
   bench::note("all curves fall with PEs");
-  return 0;
+  return bench::finish();
 }

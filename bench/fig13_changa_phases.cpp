@@ -10,6 +10,7 @@ using namespace charm;
 
 barnes::PhaseTimes average_phases(int npes) {
   sim::Machine m(bench::machine_config(npes, sim::NetworkParams::cray_gemini()));
+  bench::attach_trace(m);
   Runtime rt(m);
   barnes::Params p;
   p.pieces_per_dim = 6;
@@ -18,7 +19,7 @@ barnes::PhaseTimes average_phases(int npes) {
   barnes::Simulation sim(rt, p);
   rt.lb().set_strategy(lb::make_orb());
   rt.lb().set_period(2);
-  const int steps = 4;
+  const int steps = bench::cap_steps(4, 2);
   bool done = false;
   rt.on_pe(0, [&] {
     sim.run(steps, Callback::to_function([&](ReductionResult&&) {
@@ -52,15 +53,16 @@ barnes::PhaseTimes average_phases(int npes) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (bench::parse_args(argc, argv) != 0) return 1;
   bench::header("Figure 13", "ChaNGa-style phase breakdown vs PEs (ms per step)");
   bench::columns({"PEs", "Gravity", "DD", "TB", "LB", "Total"});
-  for (int p : {8, 16, 32, 64}) {
+  for (int p : bench::pe_series({8, 16, 32, 64})) {
     const auto t = average_phases(p);
     bench::row({static_cast<double>(p), t.gravity * 1e3, t.dd * 1e3, t.tb * 1e3, t.lb * 1e3,
                 t.total * 1e3});
   }
   bench::note("paper shape: Gravity dominates and scales; DD/TB/LB are smaller and flatten");
   bench::note("at scale (paper: 2.7s total at 128K cores, 80% efficiency vs 8K)");
-  return 0;
+  return bench::finish();
 }

@@ -22,6 +22,7 @@ struct Variant {
 
 double run_weak(int npes, int v, bool lb, int* nranks_out = nullptr) {
   sim::Machine m(bench::machine_config(npes, sim::NetworkParams::cray_gemini()));
+  bench::attach_trace(m);
   Runtime rt(m);
 
   // Weak scaling: total elements proportional to PEs; v ranks per PE.
@@ -38,7 +39,7 @@ double run_weak(int npes, int v, bool lb, int* nranks_out = nullptr) {
   lulesh::Config cfg;
   cfg.ranks_per_dim = ranks_dim;
   cfg.elems_per_dim = elems_dim;
-  cfg.iterations = 10;
+  cfg.iterations = bench::cap_steps(10, 3);
   cfg.migrate_every = lb ? 3 : 0;
   cfg.region_factor = 2.5;
   ampi::Options opts;
@@ -62,10 +63,11 @@ double run_weak(int npes, int v, bool lb, int* nranks_out = nullptr) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (bench::parse_args(argc, argv) != 0) return 1;
   bench::header("Figure 14", "LULESH weak scaling: MPI vs AMPI virtualization (s/iteration)");
   bench::columns({"PEs", "MPI(v=1)", "AMPI(v=1)", "AMPI(v=8)", "AMPI(v=8)+LB"});
-  for (int p : {8, 27, 64}) {
+  for (int p : bench::pe_series({8, 27, 64})) {
     // "Native MPI": AMPI ranks that never call MPI_Migrate (v=1, no LB).
     const double mpi = run_weak(p, 1, false);
     const double ampi_v1 = run_weak(p, 1, false);
@@ -75,12 +77,12 @@ int main() {
   }
   bench::header("Figure 14 (non-cubic)", "virtualization frees LULESH from cubic PE counts");
   bench::columns({"PEs", "AMPI(v~8)"});
-  for (int p : {10, 20}) {
+  for (int p : bench::pe_series({10, 20}, 1)) {
     int nranks = 0;
     const double t = run_weak(p, 8, false, &nranks);
     std::printf("%16d%16.6g   (%d ranks on %d PEs)\n", p, t, nranks, p);
   }
   bench::note("paper shape: v=8 ~2.4x faster than v=1 (working set fits cache); +LB removes");
   bench::note("the region imbalance; non-cubic counts run with no major overhead");
-  return 0;
+  return bench::finish();
 }

@@ -10,28 +10,30 @@ namespace {
 double event_rate(int npes, int lps_per_pe, int events_per_lp) {
   using namespace charm;
   sim::Machine m(bench::machine_config(npes));
+  bench::attach_trace(m);
   Runtime rt(m);
   pdes::Params p;
   p.nlps = npes * lps_per_pe;
   p.initial_events_per_lp = events_per_lp;
   pdes::Engine eng(rt, p);
-  rt.on_pe(0, [&] { eng.run_until(4.0, Callback::ignore()); });
+  rt.on_pe(0, [&] { eng.run_until(bench::smoke() ? 1.0 : 4.0, Callback::ignore()); });
   m.run();
   return static_cast<double>(eng.total_executed()) / m.max_pe_clock();
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (bench::parse_args(argc, argv) != 0) return 1;
   // Scaled from the paper's 64/128/256 LPs per PE at 1K-4K PEs: the same 4x
   // over-decomposition range at emulator-friendly sizes.
   bench::header("Figure 15a", "PHOLD weak scaling, 32 events/LP, varying LPs per PE");
   bench::columns({"PEs", "16 LPs/PE", "32 LPs/PE", "64 LPs/PE"});
-  for (int p : {8, 16, 32}) {
+  for (int p : bench::pe_series({8, 16, 32})) {
     bench::row({static_cast<double>(p), event_rate(p, 16, 32), event_rate(p, 32, 32),
                 event_rate(p, 64, 32)});
   }
   bench::note("rates in events/second of virtual time");
   bench::note("paper shape: rate grows with PEs (weak scaling) and with LPs/PE (over-decomposition)");
-  return 0;
+  return bench::finish();
 }

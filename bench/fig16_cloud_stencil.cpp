@@ -15,6 +15,7 @@ using namespace charm;
 
 std::vector<double> iteration_times(bool with_lb) {
   sim::Machine m(bench::machine_config(32, sim::NetworkParams::cloud_ethernet()));
+  bench::attach_trace(m);
   Runtime rt(m);
   stencil::Params p;
   p.grid = 1024;
@@ -26,8 +27,8 @@ std::vector<double> iteration_times(bool with_lb) {
     rt.lb().set_period(20);  // LB every 20 steps, as in the paper
   }
 
-  const int total_iters = 300;
-  const int interference_at = 100;
+  const int total_iters = bench::cap_steps(300, 60);
+  const int interference_at = bench::cap_steps(100, 20);
   bool done = false;
   rt.on_pe(0, [&] {
     sim.run(interference_at, Callback::to_function([&](ReductionResult&&) {
@@ -51,7 +52,8 @@ std::vector<double> iteration_times(bool with_lb) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (bench::parse_args(argc, argv) != 0) return 1;
   bench::header("Figure 16", "Stencil2D iteration time under interference (starts at iter 100)");
   auto nolb = iteration_times(false);
   auto lb = iteration_times(true);
@@ -64,7 +66,7 @@ int main() {
   auto avg_tail = [&](const std::vector<double>& v) {
     double s = 0;
     int c = 0;
-    for (std::size_t i = 140; i < v.size(); ++i) {
+    for (std::size_t i = bench::smoke() ? 30 : 140; i < v.size(); ++i) {
       s += v[i];
       ++c;
     }
@@ -73,5 +75,5 @@ int main() {
   std::printf("   post-interference steady iteration time: NoLB %.3f ms, LB %.3f ms\n",
               avg_tail(nolb) * 1e3, avg_tail(lb) * 1e3);
   bench::note("paper shape: both traces jump at iter 100; the LB trace recovers (with periodic LB spikes)");
-  return 0;
+  return bench::finish();
 }

@@ -11,6 +11,7 @@ using namespace charm;
 
 double time_per_step(int npes, bool hetero, bool with_lb) {
   sim::Machine m(bench::machine_config(npes, sim::NetworkParams::cloud_ethernet()));
+  bench::attach_trace(m);
   Runtime rt(m);
   if (hetero) {
     // One "node" (4 PEs) throttled to 0.7x, as on the Graphene cluster.
@@ -29,7 +30,7 @@ double time_per_step(int npes, bool hetero, bool with_lb) {
     rt.lb().set_strategy(lb::make_refine(1.05));
     rt.lb().set_period(3);
   }
-  const int steps = 9;
+  const int steps = bench::cap_steps(9, 3);
   bool done = false;
   rt.on_pe(0, [&] {
     sim.run(steps, Callback::to_function([&](ReductionResult&&) {
@@ -44,11 +45,12 @@ double time_per_step(int npes, bool hetero, bool with_lb) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (bench::parse_args(argc, argv) != 0) return 1;
   bench::header("Figure 17", "LeanMD in a heterogeneous cloud (one slow node at 0.7x)");
   bench::columns({"PEs", "HeteroNoLB_ms", "HeteroLB_ms", "HomoLB_ms", "ideal_ms"});
   double base = -1;
-  for (int p : {8, 16, 32}) {
+  for (int p : bench::pe_series({8, 16, 32})) {
     const double hetero_nolb = time_per_step(p, true, false);
     const double hetero_lb = time_per_step(p, true, true);
     const double homo_lb = time_per_step(p, false, true);
@@ -58,5 +60,5 @@ int main() {
   }
   bench::note("paper shape: heterogeneity-aware LB brings the slow-node runs close to the");
   bench::note("homogeneous curve; NoLB is limited by the 0.7x node");
-  return 0;
+  return bench::finish();
 }

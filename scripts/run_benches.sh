@@ -3,10 +3,49 @@
 #   for b in build/bench/*; do $b; done
 # but skipping CMake bookkeeping entries.  Output goes to stdout; tee it into
 # bench_output.txt for the EXPERIMENTS.md record.
+#
+# --smoke runs each figure binary in its reduced configuration (tiny PE
+# sweeps, few steps) — the CI bench-smoke gate.  Any bench failure makes the
+# script exit nonzero.  micro_* binaries use google-benchmark's own flag
+# parsing, so in smoke mode they get a minimal-time run instead of --smoke.
 set -u
 cd "$(dirname "$0")/.."
+
+smoke=0
+for arg in "$@"; do
+  case "$arg" in
+    --smoke) smoke=1 ;;
+    *) echo "usage: $0 [--smoke]" >&2; exit 2 ;;
+  esac
+done
+
+failures=0
 for b in build/bench/fig* build/bench/ablation_* build/bench/micro_*; do
   [ -x "$b" ] || continue
   echo "### $b"
-  "$b" || echo "### $b FAILED (exit $?)"
+  case "$(basename "$b")" in
+    micro_*)
+      if [ "$smoke" -eq 1 ]; then
+        args=(--benchmark_min_time=0.01)
+      else
+        args=()
+      fi
+      ;;
+    *)
+      if [ "$smoke" -eq 1 ]; then
+        args=(--smoke)
+      else
+        args=()
+      fi
+      ;;
+  esac
+  if ! "$b" ${args[@]+"${args[@]}"}; then
+    echo "### $b FAILED (exit $?)"
+    failures=$((failures + 1))
+  fi
 done
+
+if [ "$failures" -gt 0 ]; then
+  echo "### $failures bench(es) failed" >&2
+  exit 1
+fi

@@ -3,6 +3,8 @@
 #include <memory>
 #include <stdexcept>
 
+#include "trace/trace.hpp"
+
 namespace charm::ft {
 
 MemCheckpointer::MemCheckpointer(Runtime& rt, MemCkptParams params)
@@ -12,6 +14,7 @@ MemCheckpointer::MemCheckpointer(Runtime& rt, MemCkptParams params)
       buddy_(static_cast<std::size_t>(rt.npes())) {}
 
 void MemCheckpointer::checkpoint(Callback done) {
+  const double begin = rt_.now();
   const int P = rt_.active_pes();
   for (auto& v : local_) v.clear();
   for (auto& v : buddy_) v.clear();
@@ -20,7 +23,7 @@ void MemCheckpointer::checkpoint(Callback done) {
 
   auto remaining = std::make_shared<int>(P);
   for (int pe = 0; pe < P; ++pe) {
-    rt_.send_control(pe, 16, [this, pe, P, remaining, done]() {
+    rt_.send_control(pe, 16, [this, pe, P, remaining, done, begin]() {
       // Pack every local element of checkpointable collections.
       double bytes = 0;
       for (std::size_t ci = 0; ci < rt_.collection_count(); ++ci) {
@@ -43,13 +46,18 @@ void MemCheckpointer::checkpoint(Callback done) {
       // Ship the second copy to the buddy (real message cost).
       const int buddy = (pe + 1) % P;
       rt_.send_control(buddy, static_cast<std::size_t>(bytes),
-                       [this, pe, buddy, bytes, remaining, done]() {
+                       [this, pe, buddy, bytes, remaining, done, begin]() {
                          buddy_[static_cast<std::size_t>(buddy)] =
                              local_[static_cast<std::size_t>(pe)];
                          rt_.charge(bytes / params_.pack_bw);  // copy-in
                          if (--*remaining == 0) {
                            rt_.after(rt_.my_pe(), rt_.tree_wave_latency(),
-                                     [this, done]() { done.invoke(rt_, ReductionResult{}); });
+                                     [this, done, begin]() {
+                                       if (trace::Tracer* tr = rt_.machine().tracer())
+                                         tr->phase_span(trace::Phase::kCheckpoint, 0,
+                                                        begin, rt_.now());
+                                       done.invoke(rt_, ReductionResult{});
+                                     });
                          }
                        });
     });
@@ -59,6 +67,7 @@ void MemCheckpointer::checkpoint(Callback done) {
 void MemCheckpointer::fail_and_recover(int victim, Callback done) {
   if (checkpoints_ == 0)
     throw std::logic_error("fail_and_recover: no checkpoint taken yet");
+  recover_begin_ = rt_.now();
   failed_pe_ = victim;
   rt_.set_pe_dead(victim, true);
   // The victim's in-memory state (its local copies and any buddy copies it
@@ -103,7 +112,11 @@ void MemCheckpointer::restore_all(Callback done) {
     if (--*remaining == 0) {
       rt_.rebuild_location_tables();
       rt_.after(rt_.my_pe(), params_.barrier_count * 2.0 * rt_.tree_wave_latency(),
-                [this, done]() { done.invoke(rt_, ReductionResult{}); });
+                [this, done]() {
+                  if (trace::Tracer* tr = rt_.machine().tracer())
+                    tr->phase_span(trace::Phase::kRestore, 0, recover_begin_, rt_.now());
+                  done.invoke(rt_, ReductionResult{});
+                });
     }
   };
 

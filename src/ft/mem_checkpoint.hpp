@@ -58,6 +58,7 @@ class MemCheckpointer {
   std::uint64_t total_bytes_ = 0;
   int checkpoints_ = 0;
   int failed_pe_ = kInvalidPe;
+  double recover_begin_ = 0;  ///< failure time, for the trace restore span
 };
 
 }  // namespace charm::ft

@@ -8,6 +8,7 @@
 #include "lb/distributed.hpp"
 #include "runtime/runtime.hpp"
 #include "sim/rng.hpp"
+#include "trace/trace.hpp"
 
 namespace charm::lb {
 
@@ -204,6 +205,10 @@ void Manager::resume_all(double extra_delay) {
   auto issue = [this, done]() {
     pending_.lb_cost = rt_.now() - round_started_;
     pending_.completed_at = rt_.now();
+    if (trace::Tracer* tr = rt_.machine().tracer()) {
+      tr->phase_span(trace::Phase::kLbStep, /*pe=*/0, round_started_, rt_.now(),
+                     /*aux=*/pending_.did_lb ? pending_.migrations : -1);
+    }
     history_.push_back(pending_);
     phase_ = Phase::kCollecting;
     for (CollectionId col : cols_) {

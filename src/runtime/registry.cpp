@@ -22,4 +22,16 @@ CreatorId Registry::add_creator(CreatorInfo info) {
   return static_cast<CreatorId>(creators_.size() - 1);
 }
 
+const std::string& Registry::entry_name(EntryId id) const {
+  static const std::string empty;
+  const auto i = static_cast<std::size_t>(id);
+  return i < entry_names_.size() ? entry_names_[i] : empty;
+}
+
+void Registry::set_entry_name(EntryId id, std::string name) {
+  const auto i = static_cast<std::size_t>(id);
+  if (entry_names_.size() <= i) entry_names_.resize(i + 1);
+  entry_names_[i] = std::move(name);
+}
+
 }  // namespace charm

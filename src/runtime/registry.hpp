@@ -79,6 +79,15 @@ class Registry {
   }
 
   const EntryInfo& entry(EntryId id) const { return entries_.at(static_cast<std::size_t>(id)); }
+  /// Optional display name (trace viewers); "" when never set.
+  const std::string& entry_name(EntryId id) const;
+  void set_entry_name(EntryId id, std::string name);
+  /// Convenience: `Registry::name_entry<&Foo::bar>("Foo::bar")` labels the
+  /// entry in trace output (registers it if needed).
+  template <auto Mfp>
+  static void name_entry(std::string name) {
+    instance().set_entry_name(entry_of<Mfp>(), std::move(name));
+  }
   const CreatorInfo& creator(CreatorId id) const {
     return creators_.at(static_cast<std::size_t>(id));
   }
@@ -129,6 +138,7 @@ class Registry {
   std::vector<ChareTypeInfo> types_;
   std::vector<EntryInfo> entries_;
   std::vector<CreatorInfo> creators_;
+  std::vector<std::string> entry_names_;
 };
 
 }  // namespace charm

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "lb/manager.hpp"
+#include "trace/trace.hpp"
 
 namespace charm {
 
@@ -178,7 +179,12 @@ void Runtime::deliver_here(Envelope env, int pe) {
 
   const double t0 = machine_.handler_elapsed();
   einfo.invoke(elem, u);
-  elem->lb_load_ += machine_.handler_elapsed() - t0;
+  const double dt = machine_.handler_elapsed() - t0;
+  elem->lb_load_ += dt;
+  if (trace::Tracer* tr = machine_.tracer()) {
+    const double end = machine_.now();
+    tr->entry(pe, env.col, env.ep, end - dt, end);
+  }
 
   const bool do_destroy = exec_destroy_requested_;
   const int mig = exec_migrate_to_;
@@ -211,7 +217,12 @@ void Runtime::deliver_local(Collection& c, ArrayElementBase& elem, EntryId ep,
 
   const double t0 = machine_.handler_elapsed();
   einfo.invoke(&elem, u);
-  elem.lb_load_ += machine_.handler_elapsed() - t0;
+  const double dt = machine_.handler_elapsed() - t0;
+  elem.lb_load_ += dt;
+  if (trace::Tracer* tr = machine_.tracer()) {
+    const double end = machine_.now();
+    tr->entry(pe, col, ep, end - dt, end);
+  }
 
   const bool do_destroy = exec_destroy_requested_;
   const int mig = exec_migrate_to_;
@@ -304,7 +315,12 @@ void Runtime::broadcast_apply_leg(
             // must show up in the next round's LB measurements.
             const double t0 = machine_.handler_elapsed();
             (*fn)(*e);
-            e->lb_load_ += machine_.handler_elapsed() - t0;
+            const double dt = machine_.handler_elapsed() - t0;
+            e->lb_load_ += dt;
+            if (trace::Tracer* tr = machine_.tracer()) {
+              const double end = machine_.now();
+              tr->entry(abs, col, /*ep=*/-1, end - dt, end);
+            }
           }
         }
         note_message_done();

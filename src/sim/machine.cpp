@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "trace/trace.hpp"
+
 namespace sim {
 
 Machine::Machine(MachineConfig cfg)
@@ -41,6 +43,11 @@ void Machine::send(int dst, std::size_t bytes, int priority, Handler fn,
   e.priority = priority;
   e.bytes = bytes;
   e.fn = std::move(fn);
+  if (tracer_ != nullptr) {
+    const int hops =
+        net_.params().use_topology && src != dst ? topo_.hops(src, dst) : 0;
+    tracer_->send(src, dst, bytes, hops, depart, e.time);
+  }
   queue_.push(std::move(e));
 }
 
@@ -87,6 +94,11 @@ bool Machine::step() {
   Pe::ReadyMsg msg = std::move(const_cast<Pe::ReadyMsg&>(p.ready_.top()));
   p.ready_.pop();
 
+  if (tracer_ != nullptr) {
+    if (p.clock_ < e.time) tracer_->idle(e.pe, p.clock_, e.time);
+    tracer_->recv(e.pe, msg.priority, msg.bytes, msg.arrival, e.time);
+  }
+
   ctx_ = ExecCtx{e.pe, e.time, 0.0};
   // Receiver-side scheduling overhead for every delivery.
   ctx_.elapsed += net_.params().alpha_recv / p.freq_;
@@ -94,6 +106,7 @@ bool Machine::step() {
   p.clock_ = e.time + ctx_.elapsed;
   p.busy_ += ctx_.elapsed;
   ++p.executed_;
+  if (tracer_ != nullptr) tracer_->exec(e.pe, e.time, p.clock_, msg.bytes);
   ctx_ = ExecCtx{};
 
   if (!p.ready_.empty()) schedule_exec(e.pe, p.clock_);

@@ -26,6 +26,10 @@
 #include "sim/network.hpp"
 #include "sim/topology.hpp"
 
+namespace trace {
+class Tracer;
+}
+
 namespace sim {
 
 struct MachineConfig {
@@ -127,6 +131,14 @@ class Machine {
   /// Max over PE clocks — "makespan" of everything executed so far.
   Time max_pe_clock() const;
 
+  // ---- tracing ---------------------------------------------------------
+
+  /// Attaches a trace log (nullptr detaches).  Recording never charges
+  /// virtual time, so results are identical with tracing on or off; the cost
+  /// when detached is one pointer test per event.
+  void set_tracer(trace::Tracer* t) { tracer_ = t; }
+  trace::Tracer* tracer() const { return tracer_; }
+
  private:
   struct ExecCtx {
     int pe = -1;
@@ -140,6 +152,7 @@ class Machine {
   MachineConfig cfg_;
   Torus3D topo_;
   NetworkModel net_;
+  trace::Tracer* tracer_ = nullptr;
   std::vector<Pe> pes_;
   EventQueue queue_;
   ExecCtx ctx_;

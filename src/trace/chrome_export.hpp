@@ -1,0 +1,33 @@
+#pragma once
+// Chrome trace_event JSON exporter: any traced run can be opened in
+// chrome://tracing or https://ui.perfetto.dev.  Each PE becomes a thread
+// (tid) of one process; exec/entry/idle/phase spans are complete ("X")
+// events, message sends become flow ("s"/"f") arrows, and queue waits
+// become "X" spans in a "queue" category.
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace trace {
+
+/// Maps (collection id, entry id) to a display name for entry spans.
+/// Default labels are "col<c>.ep<e>".
+using EntryLabeler = std::function<std::string(int col, int ep)>;
+
+void write_chrome_trace(const std::vector<Event>& events, std::ostream& os,
+                        const EntryLabeler& label = {});
+
+/// Returns false (and writes nothing) if the file cannot be opened.
+bool write_chrome_trace_file(const std::vector<Event>& events, const std::string& path,
+                             const EntryLabeler& label = {});
+
+inline bool write_chrome_trace_file(const Tracer& tracer, const std::string& path,
+                                    const EntryLabeler& label = {}) {
+  return write_chrome_trace_file(tracer.events(), path, label);
+}
+
+}  // namespace trace

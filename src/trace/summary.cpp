@@ -1,0 +1,70 @@
+#include "trace/summary.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace trace {
+
+double Summary::total_busy() const {
+  double t = 0;
+  for (const PeStat& p : pes) t += p.busy;
+  return t;
+}
+
+double Summary::total_exec() const {
+  double t = 0;
+  for (const PeStat& p : pes) t += p.exec;
+  return t;
+}
+
+Summary summarize(const std::vector<Event>& events, int npes) {
+  Summary s;
+  s.pes.resize(static_cast<std::size_t>(std::max(npes, 0)));
+  std::map<std::pair<int, int>, EntryStat> entries;
+
+  for (const Event& e : events) {
+    switch (e.kind) {
+      case Kind::kExec: {
+        if (e.pe >= 0 && e.pe < npes) {
+          PeStat& p = s.pes[static_cast<std::size_t>(e.pe)];
+          ++p.execs;
+          p.exec += e.end - e.begin;
+        }
+        s.span = std::max(s.span, e.end);
+        break;
+      }
+      case Kind::kEntry: {
+        EntryStat& st = entries[{e.a, e.b}];
+        st.col = e.a;
+        st.ep = e.b;
+        ++st.calls;
+        const double dt = e.end - e.begin;
+        st.total_time += dt;
+        st.max_time = std::max(st.max_time, dt);
+        if (e.pe >= 0 && e.pe < npes) s.pes[static_cast<std::size_t>(e.pe)].busy += dt;
+        break;
+      }
+      case Kind::kSend: {
+        ++s.messages.sends;
+        s.messages.bytes += e.bytes;
+        if (e.b > 0) s.messages.hops += static_cast<std::uint64_t>(e.b);
+        const double lat = e.end - e.begin;
+        s.messages.total_latency += lat;
+        s.messages.max_latency = std::max(s.messages.max_latency, lat);
+        break;
+      }
+      case Kind::kRecv:
+        s.messages.total_queue_wait += e.end - e.begin;
+        break;
+      case Kind::kIdle:
+      case Kind::kPhase:
+        break;
+    }
+  }
+
+  s.entries.reserve(entries.size());
+  for (auto& [key, st] : entries) s.entries.push_back(st);
+  return s;
+}
+
+}  // namespace trace

@@ -1,0 +1,54 @@
+#pragma once
+// Aggregate statistics over a trace log: the Projections "usage profile"
+// tables.  Per entry method: call count, total/max virtual time.  Per PE:
+// busy/overhead split of executed time.  Messages: count, bytes, hop and
+// latency totals.  Consumed by MetaLB's trace-aware advisor and the benches.
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace trace {
+
+struct EntryStat {
+  int col = -1;                ///< collection id
+  int ep = -1;                 ///< entry id
+  std::uint64_t calls = 0;
+  double total_time = 0;       ///< virtual seconds across all calls
+  double max_time = 0;         ///< longest single invocation
+};
+
+struct PeStat {
+  std::uint64_t execs = 0;     ///< handler executions
+  double busy = 0;             ///< time inside entry methods
+  double exec = 0;             ///< total handler-execution time (busy ⊆ exec)
+  double overhead() const { return exec - busy; }
+};
+
+struct MessageStat {
+  std::uint64_t sends = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t hops = 0;
+  double total_latency = 0;    ///< network transit (send depart → arrive)
+  double total_queue_wait = 0; ///< destination queueing (arrive → service)
+  double max_latency = 0;
+};
+
+struct Summary {
+  std::vector<EntryStat> entries;  ///< sorted by (col, ep)
+  std::vector<PeStat> pes;         ///< indexed by PE
+  MessageStat messages;
+  double span = 0;                 ///< last exec end (makespan of the trace)
+
+  double total_busy() const;
+  double total_exec() const;
+};
+
+Summary summarize(const std::vector<Event>& events, int npes);
+
+inline Summary summarize(const Tracer& tracer, int npes) {
+  return summarize(tracer.events(), npes);
+}
+
+}  // namespace trace

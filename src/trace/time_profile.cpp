@@ -1,0 +1,120 @@
+#include "trace/time_profile.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace trace {
+
+namespace {
+
+using Interval = std::pair<double, double>;
+
+// Sorts, clips to [t0, t1], and merges overlapping/touching intervals.
+void normalize(std::vector<Interval>& iv, double t0, double t1) {
+  for (Interval& i : iv) {
+    i.first = std::max(i.first, t0);
+    i.second = std::min(i.second, t1);
+  }
+  iv.erase(std::remove_if(iv.begin(), iv.end(),
+                          [](const Interval& i) { return i.second <= i.first; }),
+           iv.end());
+  std::sort(iv.begin(), iv.end());
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < iv.size(); ++i) {
+    if (out > 0 && iv[i].first <= iv[out - 1].second) {
+      iv[out - 1].second = std::max(iv[out - 1].second, iv[i].second);
+    } else {
+      iv[out++] = iv[i];
+    }
+  }
+  iv.resize(out);
+}
+
+// Adds each interval's overlap with every bin into `acc` (seconds per bin).
+void accumulate(const std::vector<Interval>& iv, double t0, double width, int nbins,
+                std::vector<double>& acc) {
+  for (const Interval& i : iv) {
+    int b = std::min(nbins - 1, std::max(0, static_cast<int>((i.first - t0) / width)));
+    for (; b < nbins; ++b) {
+      const double lo = t0 + b * width;
+      const double hi = lo + width;
+      if (i.first >= hi) continue;
+      if (i.second <= lo) break;
+      acc[static_cast<std::size_t>(b)] +=
+          std::min(i.second, hi) - std::max(i.first, lo);
+    }
+  }
+}
+
+}  // namespace
+
+TimeProfile build_time_profile(const std::vector<Event>& events, int npes, int nbins,
+                               double t_end) {
+  if (npes <= 0 || nbins <= 0)
+    throw std::invalid_argument("build_time_profile: npes and nbins must be positive");
+
+  TimeProfile p;
+  p.npes = npes;
+  p.nbins = nbins;
+  if (t_end < 0) {
+    for (const Event& e : events)
+      if (e.kind == Kind::kExec) t_end = std::max(t_end, e.end);
+    if (t_end <= 0) t_end = 1.0;  // empty trace: one all-idle profile
+  }
+  p.t1 = t_end;
+  p.bin_width = (p.t1 - p.t0) / nbins;
+  p.pe_bins.assign(static_cast<std::size_t>(npes) * static_cast<std::size_t>(nbins), {});
+  p.mean.assign(static_cast<std::size_t>(nbins), {});
+
+  std::vector<Interval> execs, entries;
+  std::vector<double> exec_acc(static_cast<std::size_t>(nbins));
+  std::vector<double> entry_acc(static_cast<std::size_t>(nbins));
+
+  for (int pe = 0; pe < npes; ++pe) {
+    execs.clear();
+    entries.clear();
+    for (const Event& e : events) {
+      if (e.pe != pe) continue;
+      if (e.kind == Kind::kExec) execs.emplace_back(e.begin, e.end);
+      else if (e.kind == Kind::kEntry) entries.emplace_back(e.begin, e.end);
+    }
+    normalize(execs, p.t0, p.t1);
+    normalize(entries, p.t0, p.t1);
+    std::fill(exec_acc.begin(), exec_acc.end(), 0.0);
+    std::fill(entry_acc.begin(), entry_acc.end(), 0.0);
+    accumulate(execs, p.t0, p.bin_width, nbins, exec_acc);
+    accumulate(entries, p.t0, p.bin_width, nbins, entry_acc);
+
+    for (int b = 0; b < nbins; ++b) {
+      ProfileBin& bin =
+          p.pe_bins[static_cast<std::size_t>(pe) * static_cast<std::size_t>(nbins) +
+                    static_cast<std::size_t>(b)];
+      const double exec_f =
+          std::min(1.0, exec_acc[static_cast<std::size_t>(b)] / p.bin_width);
+      // Entry spans are nested in exec spans, but clamp anyway so fp noise
+      // can never produce a negative overhead.
+      const double busy_f =
+          std::min(exec_f, entry_acc[static_cast<std::size_t>(b)] / p.bin_width);
+      bin.busy = busy_f;
+      bin.overhead = exec_f - busy_f;
+      bin.idle = 1.0 - exec_f;
+    }
+  }
+
+  for (int b = 0; b < nbins; ++b) {
+    ProfileBin& m = p.mean[static_cast<std::size_t>(b)];
+    for (int pe = 0; pe < npes; ++pe) {
+      const ProfileBin& bin = p.at(pe, b);
+      m.busy += bin.busy;
+      m.overhead += bin.overhead;
+      m.idle += bin.idle;
+    }
+    m.busy /= npes;
+    m.overhead /= npes;
+    m.idle /= npes;
+  }
+  return p;
+}
+
+}  // namespace trace

@@ -1,0 +1,51 @@
+#pragma once
+// Time-profile aggregation over a trace log: Projections' "time profile"
+// view (the instrument behind the paper's Fig 11), binning each PE's virtual
+// time into fixed intervals and splitting every interval into
+//
+//   busy     — time inside entry-method invocations (application work)
+//   overhead — scheduler/runtime time: handler execution outside any entry
+//              method (message scheduling alphas, broadcast forwarding,
+//              reduction combines, runtime bookkeeping)
+//   idle     — no handler executing
+//
+// Fractions are of the bin width, so busy + overhead + idle == 1 per bin.
+
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace trace {
+
+struct ProfileBin {
+  double busy = 0;      ///< fraction of the bin inside entry methods
+  double overhead = 0;  ///< fraction executing but outside entry methods
+  double idle = 0;      ///< fraction with no handler running
+};
+
+struct TimeProfile {
+  double t0 = 0;         ///< profile start (virtual seconds)
+  double t1 = 0;         ///< profile end (virtual seconds)
+  double bin_width = 0;  ///< (t1 - t0) / nbins
+  int nbins = 0;
+  int npes = 0;
+  std::vector<ProfileBin> pe_bins;  ///< [pe * nbins + bin]
+  std::vector<ProfileBin> mean;     ///< per-bin average over PEs
+
+  const ProfileBin& at(int pe, int bin) const {
+    return pe_bins[static_cast<std::size_t>(pe) * static_cast<std::size_t>(nbins) +
+                   static_cast<std::size_t>(bin)];
+  }
+};
+
+/// Builds the profile from a trace log.  `t_end` < 0 means "until the last
+/// recorded exec span ends" (the makespan of the traced run).
+TimeProfile build_time_profile(const std::vector<Event>& events, int npes, int nbins,
+                               double t_end = -1.0);
+
+inline TimeProfile build_time_profile(const Tracer& tracer, int npes, int nbins,
+                                      double t_end = -1.0) {
+  return build_time_profile(tracer.events(), npes, nbins, t_end);
+}
+
+}  // namespace trace

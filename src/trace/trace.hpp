@@ -1,0 +1,153 @@
+#pragma once
+// Projections-style event tracing for the emulated machine (§III of the
+// paper; Fig 11's time profiles are produced from exactly this kind of log).
+//
+// The tracer records per-PE *virtual-time* events:
+//   * kExec   — one scheduler-level handler execution span (bytes = message
+//               payload that triggered it)
+//   * kEntry  — one entry-method invocation span nested inside an exec span
+//               (a = collection id, b = entry id); the span covers only the
+//               work charged by the method itself
+//   * kSend   — a message departure (pe = source, a = destination, b = torus
+//               hops; begin = departure, end = arrival at the destination's
+//               scheduler queue, so end - begin is the network latency)
+//   * kRecv   — queueing delay at the destination (pe = destination,
+//               begin = arrival, end = start of service, a = priority)
+//   * kIdle   — a gap during which a PE had nothing to execute
+//   * kPhase  — a named runtime phase (LB step, checkpoint, restart recovery)
+//
+// Recording is allocation-free per event on the hot path: events land in a
+// reserve-ahead vector grown in large chunks; an optional hard cap turns the
+// tracer into a bounded buffer that counts (rather than stores) overflow.
+// A Machine with no tracer attached — or a disabled tracer — pays one
+// pointer/flag test per hook, and recording never charges virtual time, so
+// simulation results are bit-identical with tracing on, off, or absent.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace trace {
+
+enum class Kind : std::uint8_t { kExec, kEntry, kSend, kRecv, kIdle, kPhase };
+
+enum class Phase : std::uint8_t { kLbStep, kCheckpoint, kRestore, kCustom };
+
+struct Event {
+  Kind kind = Kind::kExec;
+  Phase phase = Phase::kCustom;  ///< meaningful for kPhase only
+  std::int32_t pe = -1;          ///< PE the event is attributed to
+  std::int32_t a = -1;           ///< kind-specific (see header comment)
+  std::int32_t b = -1;           ///< kind-specific (see header comment)
+  double begin = 0;              ///< virtual seconds
+  double end = 0;                ///< virtual seconds
+  std::uint64_t bytes = 0;       ///< payload size for exec/send/recv
+};
+
+class Tracer {
+ public:
+  /// `reserve_events` is the initial reserve-ahead allocation; `max_events`
+  /// bounds the log (0 = unbounded, growth doubles the reservation).
+  explicit Tracer(std::size_t reserve_events = 1 << 16, std::size_t max_events = 0)
+      : max_events_(max_events) {
+    events_.reserve(max_events ? std::min(reserve_events, max_events) : reserve_events);
+  }
+
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool on) { enabled_ = on; }
+
+  const std::vector<Event>& events() const { return events_; }
+  std::size_t size() const { return events_.size(); }
+  /// Events that arrived after the cap was hit (0 when unbounded).
+  std::uint64_t dropped() const { return dropped_; }
+
+  void clear() {
+    events_.clear();
+    dropped_ = 0;
+  }
+
+  // ---- recording (no-ops unless enabled) -----------------------------------
+
+  void record(const Event& e) {
+    if (!enabled_) return;
+    if (max_events_ != 0 && events_.size() >= max_events_) {
+      ++dropped_;
+      return;
+    }
+    events_.push_back(e);
+  }
+
+  void exec(int pe, double begin, double end, std::uint64_t bytes) {
+    Event e;
+    e.kind = Kind::kExec;
+    e.pe = pe;
+    e.begin = begin;
+    e.end = end;
+    e.bytes = bytes;
+    record(e);
+  }
+
+  void entry(int pe, int col, int ep, double begin, double end) {
+    Event e;
+    e.kind = Kind::kEntry;
+    e.pe = pe;
+    e.a = col;
+    e.b = ep;
+    e.begin = begin;
+    e.end = end;
+    record(e);
+  }
+
+  void send(int src, int dst, std::uint64_t bytes, int hops, double depart,
+            double arrive) {
+    Event e;
+    e.kind = Kind::kSend;
+    e.pe = src;
+    e.a = dst;
+    e.b = hops;
+    e.begin = depart;
+    e.end = arrive;
+    e.bytes = bytes;
+    record(e);
+  }
+
+  void recv(int pe, int priority, std::uint64_t bytes, double arrive,
+            double service_start) {
+    Event e;
+    e.kind = Kind::kRecv;
+    e.pe = pe;
+    e.a = priority;
+    e.begin = arrive;
+    e.end = service_start;
+    e.bytes = bytes;
+    record(e);
+  }
+
+  void idle(int pe, double begin, double end) {
+    Event e;
+    e.kind = Kind::kIdle;
+    e.pe = pe;
+    e.begin = begin;
+    e.end = end;
+    record(e);
+  }
+
+  void phase_span(Phase ph, int pe, double begin, double end, int aux = -1) {
+    Event e;
+    e.kind = Kind::kPhase;
+    e.phase = ph;
+    e.pe = pe;
+    e.a = aux;
+    e.begin = begin;
+    e.end = end;
+    record(e);
+  }
+
+ private:
+  std::vector<Event> events_;
+  std::size_t max_events_ = 0;
+  std::uint64_t dropped_ = 0;
+  bool enabled_ = true;
+};
+
+}  // namespace trace

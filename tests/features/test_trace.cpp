@@ -1,0 +1,370 @@
+// Tracing subsystem tests: event recording against a hand-computed ping-pong,
+// time-profile bin accounting, summary statistics, Chrome export shape, and —
+// most importantly — that tracing never perturbs the simulation (results are
+// bit-identical with tracing on, off, or absent).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "runtime/charm.hpp"
+#include "trace/chrome_export.hpp"
+#include "trace/summary.hpp"
+#include "trace/time_profile.hpp"
+#include "trace/trace.hpp"
+
+namespace {
+
+using namespace charm;
+
+struct PingMsg {
+  int value = 0;
+  void pup(pup::Er& p) { p | value; }
+};
+
+class Ponger : public charm::ArrayElement<Ponger, std::int32_t> {
+ public:
+  int received = 0;
+  void recv(const PingMsg& m) {
+    ++received;
+    charge(2e-6);
+    if (m.value > 0) {
+      ArrayProxy<Ponger> peers(collection_id());
+      peers[1 - index()].send<&Ponger::recv>(PingMsg{m.value - 1});
+    }
+  }
+  void pup(pup::Er& p) override {
+    ArrayElementBase::pup(p);
+    p | received;
+  }
+};
+
+struct Harness {
+  sim::Machine machine;
+  charm::Runtime rt;
+  explicit Harness(int npes) : machine(sim::MachineConfig{npes, {}, 4}), rt(machine) {}
+};
+
+// Runs a 2-PE ping-pong with `hops` total entry invocations.
+void run_pingpong(Harness& h, trace::Tracer* tracer, int hops) {
+  if (tracer) h.machine.set_tracer(tracer);
+  auto arr = ArrayProxy<Ponger>::create(h.rt);
+  arr.seed(0, 0);
+  arr.seed(1, 1);
+  h.rt.on_pe(0, [&] { arr[0].send<&Ponger::recv>(PingMsg{hops - 1}); });
+  h.machine.run();
+}
+
+std::size_t count_kind(const trace::Tracer& t, trace::Kind k) {
+  return static_cast<std::size_t>(
+      std::count_if(t.events().begin(), t.events().end(),
+                    [k](const trace::Event& e) { return e.kind == k; }));
+}
+
+// ---- event recording ---------------------------------------------------------
+
+TEST(Trace, PingPongEntryCountsAndOrdering) {
+  Harness h(2);
+  trace::Tracer tracer;
+  run_pingpong(h, &tracer, 10);
+
+  // Exactly one kEntry per entry-method invocation: the initial send plus the
+  // nine relays.  Nothing else in the run (seeding, on_pe bootstrap, control
+  // traffic) is an entry method.
+  EXPECT_EQ(count_kind(tracer, trace::Kind::kEntry), 10u);
+
+  // Every handler execution is bracketed: recv (queueing) before, exec after.
+  EXPECT_EQ(count_kind(tracer, trace::Kind::kExec), count_kind(tracer, trace::Kind::kRecv));
+  EXPECT_GE(count_kind(tracer, trace::Kind::kExec), 10u);
+
+  // Events carry sane virtual-time spans and alternate between the two PEs.
+  int expected_pe = 0;
+  for (const auto& e : tracer.events()) {
+    EXPECT_LE(e.begin, e.end);
+    if (e.kind == trace::Kind::kEntry) {
+      EXPECT_EQ(e.pe, expected_pe);
+      expected_pe = 1 - expected_pe;
+      // The span covers the 2us the method charged, plus (for all but the
+      // final hop) the send overhead the method's own relay charged.
+      EXPECT_GE(e.end - e.begin, 2e-6 - 1e-12);
+      EXPECT_LE(e.end - e.begin, 2e-6 + 2e-6);
+    }
+  }
+
+  // Each entry span nests inside the exec span recorded right after it.
+  const auto& ev = tracer.events();
+  for (std::size_t i = 0; i < ev.size(); ++i) {
+    if (ev[i].kind != trace::Kind::kEntry) continue;
+    ASSERT_LT(i + 1, ev.size());
+    EXPECT_EQ(ev[i + 1].kind, trace::Kind::kExec);
+    EXPECT_EQ(ev[i + 1].pe, ev[i].pe);
+    EXPECT_LE(ev[i + 1].begin, ev[i].begin);
+    EXPECT_GE(ev[i + 1].end, ev[i].end);
+  }
+}
+
+TEST(Trace, SendEventsCarryLatencyAndDestination) {
+  Harness h(2);
+  trace::Tracer tracer;
+  run_pingpong(h, &tracer, 8);
+
+  std::size_t cross = 0;
+  for (const auto& e : tracer.events()) {
+    if (e.kind != trace::Kind::kSend) continue;
+    EXPECT_GE(e.a, 0);
+    EXPECT_LT(e.a, 2);
+    EXPECT_LE(e.begin, e.end);
+    if (e.pe != e.a) {
+      ++cross;
+      EXPECT_GT(e.end, e.begin) << "cross-PE messages have network latency";
+      EXPECT_GT(e.bytes, 0u);
+    }
+  }
+  // At least the 7 relay hops cross between the PEs.
+  EXPECT_GE(cross, 7u);
+}
+
+// ---- neutrality: tracing must not change the simulation ----------------------
+
+TEST(Trace, ResultsBitIdenticalWithTracingOnOffAbsent) {
+  struct Result {
+    double clock = 0;
+    double busy[2] = {0, 0};
+    std::uint64_t executed[2] = {0, 0};
+  };
+  // Only one Runtime may exist at a time, so each run is scoped.
+  auto measure = [](trace::Tracer* tracer) {
+    Harness h(2);
+    run_pingpong(h, tracer, 50);
+    Result r;
+    r.clock = h.machine.max_pe_clock();
+    for (int pe = 0; pe < 2; ++pe) {
+      r.busy[pe] = h.machine.pe(pe).busy_time();
+      r.executed[pe] = h.machine.pe(pe).executed();
+    }
+    return r;
+  };
+
+  const Result plain = measure(nullptr);
+
+  trace::Tracer on;
+  const Result traced = measure(&on);
+  EXPECT_GT(on.size(), 0u);
+
+  trace::Tracer off;
+  off.set_enabled(false);
+  const Result disabled = measure(&off);
+  EXPECT_EQ(off.size(), 0u) << "a disabled tracer records nothing";
+
+  for (const Result* r : {&traced, &disabled}) {
+    EXPECT_EQ(r->clock, plain.clock);
+    for (int pe = 0; pe < 2; ++pe) {
+      EXPECT_EQ(r->busy[pe], plain.busy[pe]);
+      EXPECT_EQ(r->executed[pe], plain.executed[pe]);
+    }
+  }
+}
+
+TEST(Trace, BoundedTracerDropsAndCounts) {
+  trace::Tracer t(/*reserve_events=*/4, /*max_events=*/8);
+  for (int i = 0; i < 20; ++i) t.idle(0, i, i + 1);
+  EXPECT_EQ(t.size(), 8u);
+  EXPECT_EQ(t.dropped(), 12u);
+  t.clear();
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.dropped(), 0u);
+}
+
+// ---- time profile ------------------------------------------------------------
+
+TEST(TimeProfile, HandComputedBins) {
+  // One exec span [0,1] on PE0 with an entry method covering [0.25,0.75].
+  std::vector<trace::Event> ev;
+  trace::Tracer t;
+  t.exec(0, 0.0, 1.0, 0);
+  t.entry(0, 0, 0, 0.25, 0.75);
+  auto prof = trace::build_time_profile(t, /*npes=*/1, /*nbins=*/4, /*t_end=*/1.0);
+
+  ASSERT_EQ(prof.nbins, 4);
+  EXPECT_DOUBLE_EQ(prof.bin_width, 0.25);
+  const double kBusy[4] = {0.0, 1.0, 1.0, 0.0};
+  for (int b = 0; b < 4; ++b) {
+    const auto& bin = prof.at(0, b);
+    EXPECT_NEAR(bin.busy, kBusy[b], 1e-12) << "bin " << b;
+    EXPECT_NEAR(bin.overhead, 1.0 - kBusy[b], 1e-12) << "bin " << b;
+    EXPECT_NEAR(bin.idle, 0.0, 1e-12) << "bin " << b;
+  }
+}
+
+TEST(TimeProfile, BinsSumToOneAndMatchPeBusyTime) {
+  Harness h(2);
+  trace::Tracer tracer;
+  run_pingpong(h, &tracer, 40);
+
+  const int nbins = 16;
+  auto prof = trace::build_time_profile(tracer, 2, nbins);
+  ASSERT_EQ(prof.npes, 2);
+  ASSERT_GT(prof.bin_width, 0.0);
+
+  for (int pe = 0; pe < 2; ++pe) {
+    double exec_seconds = 0;
+    for (int b = 0; b < nbins; ++b) {
+      const auto& bin = prof.at(pe, b);
+      EXPECT_NEAR(bin.busy + bin.overhead + bin.idle, 1.0, 1e-9)
+          << "pe " << pe << " bin " << b;
+      EXPECT_GE(bin.busy, 0.0);
+      EXPECT_GE(bin.overhead, 0.0);
+      EXPECT_GE(bin.idle, 0.0);
+      exec_seconds += (bin.busy + bin.overhead) * prof.bin_width;
+    }
+    // busy+overhead integrates back to the PE's measured execution time.
+    EXPECT_NEAR(exec_seconds, h.machine.pe(pe).busy_time(), 1e-9);
+  }
+  // The mean profile also keeps the invariant.
+  for (int b = 0; b < nbins; ++b) {
+    EXPECT_NEAR(prof.mean[b].busy + prof.mean[b].overhead + prof.mean[b].idle, 1.0, 1e-9);
+  }
+}
+
+// ---- summary -----------------------------------------------------------------
+
+TEST(TraceSummary, HandComputedStats) {
+  trace::Tracer t;
+  t.exec(0, 0.0, 1.0, 100);
+  t.entry(0, /*col=*/3, /*ep=*/7, 0.0, 0.6);
+  t.exec(1, 0.0, 0.5, 50);
+  t.entry(1, 3, 7, 0.1, 0.3);
+  t.entry(1, 3, 8, 0.3, 0.4);
+  t.send(0, 1, 64, 2, 0.0, 0.25);
+  t.recv(1, 0, 64, 0.25, 0.30);
+
+  auto s = trace::summarize(t, 2);
+  ASSERT_EQ(s.entries.size(), 2u);
+  EXPECT_EQ(s.entries[0].col, 3);
+  EXPECT_EQ(s.entries[0].ep, 7);
+  EXPECT_EQ(s.entries[0].calls, 2u);
+  EXPECT_NEAR(s.entries[0].total_time, 0.8, 1e-12);
+  EXPECT_NEAR(s.entries[0].max_time, 0.6, 1e-12);
+  EXPECT_EQ(s.entries[1].ep, 8);
+  EXPECT_EQ(s.entries[1].calls, 1u);
+
+  ASSERT_EQ(s.pes.size(), 2u);
+  EXPECT_EQ(s.pes[0].execs, 1u);
+  EXPECT_NEAR(s.pes[0].busy, 0.6, 1e-12);
+  EXPECT_NEAR(s.pes[0].overhead(), 0.4, 1e-12);
+  EXPECT_NEAR(s.pes[1].busy, 0.3, 1e-12);
+
+  EXPECT_EQ(s.messages.sends, 1u);
+  EXPECT_EQ(s.messages.bytes, 64u);
+  EXPECT_EQ(s.messages.hops, 2u);
+  EXPECT_NEAR(s.messages.total_latency, 0.25, 1e-12);
+  EXPECT_NEAR(s.messages.total_queue_wait, 0.05, 1e-12);
+  EXPECT_NEAR(s.span, 1.0, 1e-12);
+}
+
+TEST(TraceSummary, RealRunBusyMatchesEntryTotals) {
+  Harness h(2);
+  trace::Tracer tracer;
+  run_pingpong(h, &tracer, 20);
+  auto s = trace::summarize(tracer, 2);
+
+  double entry_total = 0;
+  std::uint64_t calls = 0;
+  for (const auto& e : s.entries) {
+    entry_total += e.total_time;
+    calls += e.calls;
+  }
+  EXPECT_EQ(calls, 20u);
+  EXPECT_NEAR(entry_total, s.total_busy(), 1e-12);
+  // 20 charges of 2us each, plus the relay sends' charged overhead.
+  EXPECT_GE(entry_total, 20 * 2e-6 - 1e-10);
+  EXPECT_LE(entry_total, 20 * 4e-6);
+  EXPECT_GT(s.total_exec(), s.total_busy()) << "scheduling overhead exists";
+}
+
+// ---- Chrome export -----------------------------------------------------------
+
+TEST(ChromeExport, EmitsWellFormedEventStream) {
+  trace::Tracer t;
+  t.exec(0, 0.0, 1e-3, 128);
+  t.entry(0, 2, 5, 1e-4, 9e-4);
+  t.send(0, 1, 64, 1, 2e-4, 5e-4);
+  t.recv(1, 0, 64, 5e-4, 6e-4);
+  t.idle(1, 0.0, 5e-4);
+  t.phase_span(trace::Phase::kLbStep, 0, 0.0, 1e-3, 3);
+
+  std::ostringstream os;
+  trace::write_chrome_trace(t.events(), os,
+                            [](int col, int ep) {
+                              return "c" + std::to_string(col) + ".e" + std::to_string(ep);
+                            });
+  const std::string j = os.str();
+
+  EXPECT_NE(j.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(j.find("\"c2.e5\""), std::string::npos) << "labeler applied";
+  EXPECT_NE(j.find("\"ph\":\"s\""), std::string::npos) << "flow start for the send";
+  EXPECT_NE(j.find("\"ph\":\"f\""), std::string::npos) << "flow finish for the send";
+  EXPECT_NE(j.find("\"lb_step\""), std::string::npos);
+  // Braces and brackets balance — a cheap structural sanity check.
+  EXPECT_EQ(std::count(j.begin(), j.end(), '{'), std::count(j.begin(), j.end(), '}'));
+  EXPECT_EQ(std::count(j.begin(), j.end(), '['), std::count(j.begin(), j.end(), ']'));
+  EXPECT_EQ(j.find(",]"), std::string::npos) << "no trailing commas";
+
+  const char* path = "test_trace_chrome_out.json";
+  EXPECT_TRUE(trace::write_chrome_trace_file(t.events(), path, nullptr));
+  std::remove(path);
+}
+
+// ---- runtime phase spans -----------------------------------------------------
+
+struct IterMsg {
+  int remaining = 0;
+  void pup(pup::Er& p) { p | remaining; }
+};
+
+class SyncWorker : public charm::ArrayElement<SyncWorker, std::int32_t> {
+ public:
+  int pending = 0;
+  void step(const IterMsg& m) {
+    pending = m.remaining;
+    charm::charge(1e-3);
+    at_sync();
+  }
+  void resume_from_sync() override {
+    if (pending > 0) {
+      charm::ArrayProxy<SyncWorker> self(collection_id());
+      self[index()].send<&SyncWorker::step>(IterMsg{pending - 1});
+    }
+  }
+  void pup(pup::Er& p) override {
+    ArrayElementBase::pup(p);
+    p | pending;
+  }
+};
+
+TEST(Trace, LbStepPhaseSpansRecorded) {
+  Harness h(4);
+  trace::Tracer tracer;
+  h.machine.set_tracer(&tracer);
+  auto arr = ArrayProxy<SyncWorker>::create(h.rt);
+  for (int i = 0; i < 8; ++i) arr.seed(i, i % 4);
+  h.rt.lb().register_collection(arr.id());
+  h.rt.lb().set_strategy(lb::make_greedy());
+  h.rt.lb().set_period(2);
+  h.rt.on_pe(0, [&] { arr.broadcast<&SyncWorker::step>(IterMsg{4}); });
+  h.machine.run();
+
+  std::size_t phases = 0;
+  for (const auto& e : tracer.events()) {
+    if (e.kind != trace::Kind::kPhase) continue;
+    EXPECT_EQ(e.phase, trace::Phase::kLbStep);
+    EXPECT_LE(e.begin, e.end);
+    ++phases;
+  }
+  // One phase span per completed AtSync round.
+  EXPECT_EQ(phases, static_cast<std::size_t>(h.rt.lb().rounds_completed()));
+}
+
+}  // namespace
