@@ -9,8 +9,14 @@
 //   --trace=FILE   attach a tracer to each simulated machine and write the
 //                  LAST traced run as Chrome trace_event JSON to FILE
 //                  (open in chrome://tracing or ui.perfetto.dev)
+//   --mtbf=SEC     (fault-tolerant benches only) inject PE failures with the
+//                  given mean time between failures, in virtual seconds
+//   --failures=N   cap the number of injected failures (default 1)
+//   --fault-seed=N seed for the failure schedule / victim draws (default 1)
 
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -60,6 +66,9 @@ inline double run_to_completion(sim::Machine& m) {
 struct Options {
   bool smoke = false;       ///< tiny PE counts / few steps (CI sanity mode)
   std::string trace_file;   ///< Chrome trace_event output ("" = tracing off)
+  double mtbf = 0;          ///< >0: inject failures with this MTBF (virtual s)
+  int failures = 1;         ///< failure budget when mtbf > 0
+  std::uint64_t fault_seed = 1;  ///< failure schedule seed
 };
 
 inline Options& options() {
@@ -67,7 +76,7 @@ inline Options& options() {
   return o;
 }
 
-/// Parses --smoke and --trace=FILE; rejects anything else so typos fail CI.
+/// Parses the common flags; rejects anything else so typos fail CI.
 inline int parse_args(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const char* a = argv[i];
@@ -75,8 +84,24 @@ inline int parse_args(int argc, char** argv) {
       options().smoke = true;
     } else if (std::strncmp(a, "--trace=", 8) == 0 && a[8] != '\0') {
       options().trace_file = a + 8;
+    } else if (std::strncmp(a, "--mtbf=", 7) == 0 && a[7] != '\0') {
+      options().mtbf = std::strtod(a + 7, nullptr);
+      if (options().mtbf <= 0) {
+        std::fprintf(stderr, "%s: --mtbf needs a positive time in seconds\n", argv[0]);
+        return 1;
+      }
+    } else if (std::strncmp(a, "--failures=", 11) == 0 && a[11] != '\0') {
+      options().failures = std::atoi(a + 11);
+      if (options().failures <= 0) {
+        std::fprintf(stderr, "%s: --failures needs a positive count\n", argv[0]);
+        return 1;
+      }
+    } else if (std::strncmp(a, "--fault-seed=", 13) == 0 && a[13] != '\0') {
+      options().fault_seed = std::strtoull(a + 13, nullptr, 10);
     } else {
-      std::fprintf(stderr, "%s: unknown argument '%s' (expected --smoke or --trace=FILE)\n",
+      std::fprintf(stderr,
+                   "%s: unknown argument '%s' (expected --smoke, --trace=FILE, "
+                   "--mtbf=SEC, --failures=N, or --fault-seed=N)\n",
                    argv[0], a);
       return 1;
     }

@@ -1,8 +1,13 @@
 #include "ft/mem_checkpoint.hpp"
 
+#include <algorithm>
+#include <cstdio>
 #include <memory>
 #include <stdexcept>
+#include <string>
 
+#include "lb/manager.hpp"
+#include "sim/fault_injector.hpp"
 #include "trace/trace.hpp"
 
 namespace charm::ft {
@@ -11,19 +16,29 @@ MemCheckpointer::MemCheckpointer(Runtime& rt, MemCkptParams params)
     : rt_(rt),
       params_(params),
       local_(static_cast<std::size_t>(rt.npes())),
-      buddy_(static_cast<std::size_t>(rt.npes())) {}
+      buddy_(static_cast<std::size_t>(rt.npes())),
+      buddy_valid_(static_cast<std::size_t>(rt.npes()), 0) {}
 
 void MemCheckpointer::checkpoint(Callback done) {
+  if (recovery_pending())
+    throw std::logic_error("ft::MemCheckpointer::checkpoint during pending recovery");
   const double begin = rt_.now();
   const int P = rt_.active_pes();
-  for (auto& v : local_) v.clear();
-  for (auto& v : buddy_) v.clear();
-  total_bytes_ = 0;
-  ++checkpoints_;
+  if (sim::FaultInjector* fi = rt_.machine().fault_injector())
+    fi->notify_checkpoint_begin(begin);
+
+  // Stage into scratch stores; the committed checkpoint stays authoritative
+  // until every PE has both copies in place.
+  stage_local_.assign(local_.size(), {});
+  stage_buddy_.assign(buddy_.size(), {});
+  stage_bytes_ = 0;
+  ckpt_in_progress_ = true;
+  const std::uint64_t ep = epoch_;
 
   auto remaining = std::make_shared<int>(P);
   for (int pe = 0; pe < P; ++pe) {
-    rt_.send_control(pe, 16, [this, pe, P, remaining, done, begin]() {
+    rt_.send_control(pe, 16, [this, ep, pe, P, remaining, done, begin]() {
+      if (epoch_ != ep) return;  // aborted by a failure
       // Pack every local element of checkpointable collections.
       double bytes = 0;
       for (std::size_t ci = 0; ci < rt_.collection_count(); ++ci) {
@@ -37,29 +52,38 @@ void MemCheckpointer::checkpoint(Callback done) {
           pup::Packer pk(copy.bytes);
           obj->pup(pk);
           bytes += static_cast<double>(copy.bytes.size());
-          local_[static_cast<std::size_t>(pe)].push_back(copy);
+          stage_local_[static_cast<std::size_t>(pe)].push_back(copy);
         }
       }
-      total_bytes_ += static_cast<std::uint64_t>(bytes);
+      stage_bytes_ += static_cast<std::uint64_t>(bytes);
       rt_.charge(bytes / params_.pack_bw);  // local copy
 
       // Ship the second copy to the buddy (real message cost).
       const int buddy = (pe + 1) % P;
-      rt_.send_control(buddy, static_cast<std::size_t>(bytes),
-                       [this, pe, buddy, bytes, remaining, done, begin]() {
-                         buddy_[static_cast<std::size_t>(buddy)] =
-                             local_[static_cast<std::size_t>(pe)];
-                         rt_.charge(bytes / params_.pack_bw);  // copy-in
-                         if (--*remaining == 0) {
-                           rt_.after(rt_.my_pe(), rt_.tree_wave_latency(),
-                                     [this, done, begin]() {
-                                       if (trace::Tracer* tr = rt_.machine().tracer())
-                                         tr->phase_span(trace::Phase::kCheckpoint, 0,
-                                                        begin, rt_.now());
-                                       done.invoke(rt_, ReductionResult{});
-                                     });
-                         }
-                       });
+      rt_.send_control(
+          buddy, static_cast<std::size_t>(bytes),
+          [this, ep, pe, buddy, bytes, remaining, done, begin]() {
+            if (epoch_ != ep) return;
+            stage_buddy_[static_cast<std::size_t>(buddy)] =
+                stage_local_[static_cast<std::size_t>(pe)];
+            rt_.charge(bytes / params_.pack_bw);  // copy-in
+            if (--*remaining != 0) return;
+            rt_.after(rt_.my_pe(), rt_.tree_wave_latency(), [this, ep, done, begin]() {
+              if (epoch_ != ep) return;
+              // Commit atomically.
+              local_ = std::move(stage_local_);
+              buddy_ = std::move(stage_buddy_);
+              stage_local_.assign(local_.size(), {});
+              stage_buddy_.assign(buddy_.size(), {});
+              std::fill(buddy_valid_.begin(), buddy_valid_.end(), char{1});
+              total_bytes_ = stage_bytes_;
+              ++checkpoints_;
+              ckpt_in_progress_ = false;
+              if (trace::Tracer* tr = rt_.machine().tracer())
+                tr->phase_span(trace::Phase::kCheckpoint, 0, begin, rt_.now());
+              done.invoke(rt_, ReductionResult{});
+            });
+          });
     });
   }
 }
@@ -67,30 +91,81 @@ void MemCheckpointer::checkpoint(Callback done) {
 void MemCheckpointer::fail_and_recover(int victim, Callback done) {
   if (checkpoints_ == 0)
     throw std::logic_error("fail_and_recover: no checkpoint taken yet");
-  recover_begin_ = rt_.now();
-  failed_pe_ = victim;
-  rt_.set_pe_dead(victim, true);
-  // The victim's in-memory state (its local copies and any buddy copies it
-  // held for its predecessor) is lost with the process.
-  const int P = rt_.active_pes();
-  const int pred = (victim - 1 + P) % P;
-  (void)pred;
-  local_[static_cast<std::size_t>(victim)].clear();
-  // Note: buddy copies held ON the victim are also lost; the protocol
-  // tolerates one failure between checkpoints, as in the paper.
-  buddy_[static_cast<std::size_t>(victim)].clear();
+  on_failure(victim, done);
+}
 
-  rt_.after(0, params_.detect_delay, [this, victim, done]() {
-    // Replacement process takes over the victim's slot.
-    rt_.set_pe_dead(victim, false);
-    restore_all(done);
+void MemCheckpointer::attach_injector(sim::FaultInjector& fi) {
+  fi.set_listener([this](const sim::FaultRecord& rec) {
+    on_failure(rec.pe, Callback::ignore());
   });
 }
 
-void MemCheckpointer::restore_all(Callback done) {
+void MemCheckpointer::on_failure(int victim, Callback done) {
+  if (checkpoints_ == 0)
+    throw std::logic_error(
+        "ft::MemCheckpointer: PE failure with no committed checkpoint");
+  for (int v : pending_victims_) {
+    if (v == victim) {  // duplicate report of an already-pending victim
+      if (done.valid()) recovery_done_cbs_.push_back(done);
+      return;
+    }
+  }
+  ++epoch_;  // invalidates every in-flight checkpoint/restore leg
+  if (ckpt_in_progress_) {
+    ckpt_in_progress_ = false;
+    ++ckpt_aborted_;
+  }
+  rt_.set_pe_dead(victim, true);
+  // The victim's in-memory state (its local copies and the buddy copies it
+  // held for its predecessor) is lost with the process.
+  local_[static_cast<std::size_t>(victim)].clear();
+  buddy_[static_cast<std::size_t>(victim)].clear();
+  buddy_valid_[static_cast<std::size_t>(victim)] = 0;
+  if (pending_victims_.empty()) burst_begin_ = rt_.now();
+  pending_victims_.push_back(victim);
+  if (done.valid()) recovery_done_cbs_.push_back(done);
+  if (failure_observer_) failure_observer_(victim);
+
+  // Every pending victim must still have a live buddy store; losing a PE and
+  // its buddy between re-replications defeats double checkpointing.
   const int P = rt_.active_pes();
-  const int victim = failed_pe_;
-  failed_pe_ = kInvalidPe;
+  for (int v : pending_victims_) {
+    if (buddy_valid_[static_cast<std::size_t>((v + 1) % P)] == 0)
+      throw std::runtime_error(
+          "ft::MemCheckpointer: unrecoverable failure: buddy checkpoint of PE " +
+          std::to_string(v) + " was lost");
+  }
+
+  // (Re)start the detection timer on a surviving PE; a further failure bumps
+  // the epoch and the stale timer becomes a no-op, so recovery begins
+  // detect_delay after the *last* failure of a burst.
+  int watcher = 0;
+  for (int p = 0; p < P; ++p) {
+    if (rt_.pe_alive(p)) {
+      watcher = p;
+      break;
+    }
+  }
+  const std::uint64_t ep = epoch_;
+  rt_.after(watcher, params_.detect_delay, [this, ep]() {
+    if (epoch_ != ep || pending_victims_.empty()) return;
+    begin_restore();
+  });
+}
+
+void MemCheckpointer::begin_restore() {
+  const std::uint64_t ep = epoch_;
+  const int P = rt_.active_pes();
+
+  // Replacement processes take over the victims' slots.
+  for (int v : pending_victims_) {
+    rt_.set_pe_dead(v, false);
+    rt_.machine().revive_pe(v);
+  }
+
+  // A failure mid-AtSync-round loses that round's messages for good; abort it
+  // so the replayed elements can sync afresh.
+  rt_.lb().reset_round_state();
 
   // Phase 1: every PE discards its live elements (rollback).
   for (std::size_t ci = 0; ci < rt_.collection_count(); ++ci) {
@@ -105,31 +180,62 @@ void MemCheckpointer::restore_all(Callback done) {
     }
   }
 
-  // Phase 2: restore.  Live PEs restore from their local copies; the
-  // replacement gets the failed PE's copies from the buddy.
-  auto remaining = std::make_shared<int>(P);
-  auto finish = [this, remaining, done]() {
-    if (--*remaining == 0) {
-      rt_.rebuild_location_tables();
-      rt_.after(rt_.my_pe(), params_.barrier_count * 2.0 * rt_.tree_wave_latency(),
-                [this, done]() {
-                  if (trace::Tracer* tr = rt_.machine().tracer())
-                    tr->phase_span(trace::Phase::kRestore, 0, recover_begin_, rt_.now());
-                  done.invoke(rt_, ReductionResult{});
-                });
+  // Phase 2: restore.  Live PEs restore from their local copies; each
+  // replacement gets the failed PE's copies from its buddy.  One extra leg
+  // per victim models re-replicating the double copies lost with it.
+  auto remaining =
+      std::make_shared<int>(P + static_cast<int>(pending_victims_.size()));
+  auto finish = [this, ep, remaining]() {
+    if (epoch_ != ep) return;  // a new failure interrupted this restore
+    if (--*remaining != 0) return;
+    const int P2 = rt_.active_pes();
+    // Re-replicate: restored victims regain their local stores and the buddy
+    // copies they held for their predecessors.  Ascending victim order makes
+    // chains of sequentially-failed adjacent PEs come out right.
+    std::vector<int> vs = pending_victims_;
+    std::sort(vs.begin(), vs.end());
+    for (int v : vs)
+      local_[static_cast<std::size_t>(v)] =
+          buddy_[static_cast<std::size_t>((v + 1) % P2)];
+    for (int v : vs) {
+      buddy_[static_cast<std::size_t>(v)] =
+          local_[static_cast<std::size_t>((v - 1 + P2) % P2)];
+      buddy_valid_[static_cast<std::size_t>(v)] = 1;
     }
+    rt_.rebuild_location_tables();
+    rt_.after(rt_.my_pe(), params_.barrier_count * 2.0 * rt_.tree_wave_latency(),
+              [this, ep, vs]() {
+                if (epoch_ != ep) return;
+                if (trace::Tracer* tr = rt_.machine().tracer())
+                  tr->phase_span(trace::Phase::kRestore, 0, burst_begin_, rt_.now());
+                RecoveryRecord rec;
+                rec.ordinal = recoveries_;
+                rec.fail_time = burst_begin_;
+                rec.done_time = rt_.now();
+                rec.victims = vs;
+                recovery_log_.push_back(std::move(rec));
+                ++recoveries_;
+                pending_victims_.clear();
+                std::vector<Callback> cbs = std::move(recovery_done_cbs_);
+                recovery_done_cbs_.clear();
+                for (const Callback& cb : cbs) cb.invoke(rt_, ReductionResult{});
+                if (recovery_observer_) recovery_observer_();
+              });
   };
 
   for (int pe = 0; pe < P; ++pe) {
-    const bool is_victim = pe == victim;
-    const int source_store = is_victim ? (victim + 1) % P : pe;
+    const bool is_victim =
+        std::find(pending_victims_.begin(), pending_victims_.end(), pe) !=
+        pending_victims_.end();
+    const int source_store = is_victim ? (pe + 1) % P : pe;
     const std::vector<Copy>* store =
         is_victim ? &buddy_[static_cast<std::size_t>(source_store)]
                   : &local_[static_cast<std::size_t>(pe)];
     double bytes = 0;
     for (const Copy& copy : *store) bytes += static_cast<double>(copy.bytes.size());
 
-    auto restore_here = [this, pe, store, bytes, finish]() {
+    auto restore_here = [this, ep, pe, store, bytes, finish]() {
+      if (epoch_ != ep) return;
       rt_.charge(bytes / params_.pack_bw);  // unpack
       for (const Copy& copy : *store) {
         Collection& c = rt_.collection(copy.col);
@@ -144,13 +250,43 @@ void MemCheckpointer::restore_all(Callback done) {
 
     if (is_victim) {
       // Buddy ships the copies across the network first.
-      rt_.send_control(source_store, 16, [this, pe, bytes, restore_here]() {
+      rt_.send_control(source_store, 16, [this, ep, pe, bytes, restore_here]() {
+        if (epoch_ != ep) return;
         rt_.send_control(pe, static_cast<std::size_t>(bytes), restore_here);
       });
     } else {
       rt_.send_control(pe, 16, restore_here);
     }
   }
+
+  // Re-replication traffic: each victim's predecessor ships its local copies
+  // back so the victim again holds its buddy's data.
+  for (int v : pending_victims_) {
+    const int pred = (v - 1 + P) % P;
+    double bytes = 0;
+    for (const Copy& copy : local_[static_cast<std::size_t>(pred)])
+      bytes += static_cast<double>(copy.bytes.size());
+    rt_.send_control(pred, 16, [this, ep, v, bytes, finish]() {
+      if (epoch_ != ep) return;
+      rt_.send_control(v, static_cast<std::size_t>(bytes), finish);
+    });
+  }
+}
+
+std::string MemCheckpointer::format_recovery_log() const {
+  std::string out;
+  char buf[128];
+  for (const RecoveryRecord& r : recovery_log_) {
+    std::snprintf(buf, sizeof(buf), "#%d fail=%.17g done=%.17g victims=[",
+                  r.ordinal, r.fail_time, r.done_time);
+    out += buf;
+    for (std::size_t i = 0; i < r.victims.size(); ++i) {
+      if (i != 0) out += ',';
+      out += std::to_string(r.victims[i]);
+    }
+    out += "]\n";
+  }
+  return out;
 }
 
 }  // namespace charm::ft

@@ -7,15 +7,35 @@
 // failed PE's chares onto the replacement, and every chare rolls back to the
 // last checkpoint; the application then continues.
 //
+// Hardening against injected failures (sim::FaultInjector):
+//   * Checkpoints stage into scratch stores and commit atomically on
+//     completion; a failure mid-checkpoint aborts the staged copy and the
+//     previous committed checkpoint stays authoritative.
+//   * Every asynchronous protocol leg carries the epoch it was issued under;
+//     a failure bumps the epoch, so stale legs (of an aborted checkpoint or
+//     an interrupted restore) become no-ops.
+//   * Multiple failures before recovery completes accumulate victims; the
+//     detection timer restarts and one combined restore revives them all.
+//   * After a successful restore the double copies lost with the victims are
+//     re-replicated, so a later failure of the old victim's buddy is again
+//     recoverable.  Losing a PE *and* its buddy between re-replications is
+//     unrecoverable, as in the paper — reported as a clean std::runtime_error.
+//
 // Failure injection discards the victim PE's chares and drops its queued
 // messages; the same PE slot then plays the role of the replacement process
 // (DESIGN.md §1).
 
 #include <cstdint>
+#include <functional>
+#include <string>
 #include <vector>
 
 #include "runtime/callback.hpp"
 #include "runtime/runtime.hpp"
+
+namespace sim {
+class FaultInjector;
+}
 
 namespace charm::ft {
 
@@ -25,19 +45,49 @@ struct MemCkptParams {
   double barrier_count = 3.0;    ///< restart barriers (paper: "several")
 };
 
+/// One completed recovery (possibly covering several coalesced failures).
+struct RecoveryRecord {
+  int ordinal = 0;
+  double fail_time = 0;          ///< first failure of the burst
+  double done_time = 0;          ///< restore complete, application resumes
+  std::vector<int> victims;      ///< PEs revived by this recovery
+};
+
 class MemCheckpointer {
  public:
   explicit MemCheckpointer(Runtime& rt, MemCkptParams params = {});
 
-  /// CkStartMemCheckpoint(callback).
+  /// CkStartMemCheckpoint(callback).  Throws std::logic_error if called
+  /// while a recovery is pending (the global state is not consistent).
   void checkpoint(Callback done);
 
   /// Kill PE `victim`, run the recovery protocol, roll every chare back to
-  /// the last checkpoint, then invoke `done`.
+  /// the last checkpoint, then invoke `done`.  Throws std::logic_error when
+  /// no checkpoint has been committed yet.
   void fail_and_recover(int victim, Callback done);
+
+  /// Registers this checkpointer as `fi`'s failure listener: every injected
+  /// failure starts (or extends) a recovery automatically.
+  void attach_injector(sim::FaultInjector& fi);
+
+  /// Called synchronously when a failure is observed (before detection).
+  void set_failure_observer(std::function<void(int victim)> fn) {
+    failure_observer_ = std::move(fn);
+  }
+  /// Called when a recovery completes and the application may resume.
+  void set_recovery_observer(std::function<void()> fn) {
+    recovery_observer_ = std::move(fn);
+  }
 
   std::uint64_t checkpoint_bytes() const { return total_bytes_; }
   int checkpoints_taken() const { return checkpoints_; }
+  int checkpoints_aborted() const { return ckpt_aborted_; }
+  bool recovery_pending() const { return !pending_victims_.empty(); }
+  int recoveries_completed() const { return recoveries_; }
+
+  const std::vector<RecoveryRecord>& recovery_log() const { return recovery_log_; }
+  /// Canonical text form; byte-identical across same-seed runs.
+  std::string format_recovery_log() const;
 
  private:
   struct Copy {
@@ -47,7 +97,10 @@ class MemCheckpointer {
     std::vector<std::byte> bytes;
   };
 
-  void restore_all(Callback done);
+  /// Common failure path (manual fail_and_recover and injected failures).
+  void on_failure(int victim, Callback done);
+  /// Revives all pending victims and runs the combined rollback + restore.
+  void begin_restore();
 
   Runtime& rt_;
   MemCkptParams params_;
@@ -55,10 +108,26 @@ class MemCheckpointer {
   // buddy_[b]: copies of ((b-1+P)%P)'s elements held in b's memory.
   std::vector<std::vector<Copy>> local_;
   std::vector<std::vector<Copy>> buddy_;
+  // Staging stores for the checkpoint in flight (committed atomically).
+  std::vector<std::vector<Copy>> stage_local_;
+  std::vector<std::vector<Copy>> stage_buddy_;
+  /// buddy_[b] holds committed data (an empty store is valid when the owner
+  /// had no elements; it turns invalid when b's process is lost).
+  std::vector<char> buddy_valid_;
+  std::uint64_t stage_bytes_ = 0;
   std::uint64_t total_bytes_ = 0;
   int checkpoints_ = 0;
-  int failed_pe_ = kInvalidPe;
-  double recover_begin_ = 0;  ///< failure time, for the trace restore span
+  int ckpt_aborted_ = 0;
+  bool ckpt_in_progress_ = false;
+  /// Bumped on every failure; stale async legs compare and bail.
+  std::uint64_t epoch_ = 0;
+  std::vector<int> pending_victims_;
+  std::vector<Callback> recovery_done_cbs_;
+  int recoveries_ = 0;
+  std::vector<RecoveryRecord> recovery_log_;
+  std::function<void(int)> failure_observer_;
+  std::function<void()> recovery_observer_;
+  double burst_begin_ = 0;  ///< first failure time, for the trace restore span
 };
 
 }  // namespace charm::ft

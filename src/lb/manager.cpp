@@ -7,6 +7,7 @@
 
 #include "lb/distributed.hpp"
 #include "runtime/runtime.hpp"
+#include "sim/fault_injector.hpp"
 #include "sim/rng.hpp"
 #include "trace/trace.hpp"
 
@@ -110,6 +111,12 @@ void Manager::round_complete() {
 
   pending_ = info;
 
+  if (do_reconfig || do_lb) {
+    // Adversarial fault injection may arm a failure at LB-step begin.
+    if (sim::FaultInjector* fi = rt_.machine().fault_injector())
+      fi->notify_lb_begin(rt_.now());
+  }
+
   if (do_reconfig) {
     reconfig_pending_ = false;
     pending_.did_lb = true;
@@ -194,6 +201,18 @@ void Manager::note_migration_arrival() {
     migrations_dispatched_ = false;
     resume_all(0);
   }
+}
+
+void Manager::reset_round_state() {
+  phase_ = Phase::kCollecting;
+  synced_ = 0;
+  migrations_expected_ = 0;
+  migrations_arrived_ = 0;
+  migrations_dispatched_ = false;
+  forced_ = false;
+  reconfig_pending_ = false;
+  reconfig_delay_ = 0;
+  reconfig_done_ = Callback();
 }
 
 void Manager::resume_all(double extra_delay) {

@@ -72,6 +72,11 @@ class Manager {
   /// Called by the runtime when an LB-initiated migration lands.
   void note_migration_arrival();
 
+  /// Aborts any in-flight AtSync round (checkpoint-restore rollback): a PE
+  /// failure mid-round loses that round's messages for good, so recovery
+  /// resets to collecting and lets the replayed elements sync afresh.
+  void reset_round_state();
+
   const std::vector<RoundInfo>& history() const { return history_; }
   int rounds_completed() const { return round_; }
   int lb_invocations() const { return lb_invocations_; }

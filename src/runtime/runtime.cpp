@@ -97,7 +97,7 @@ void Runtime::launch_envelope(Envelope env, int dst, bool count) {
   machine_.send(
       dst, wire, prio,
       [this, dst, box]() {
-        if (!dead_[static_cast<std::size_t>(dst)]) on_envelope(std::move(*box));
+        if (pe_alive(dst)) on_envelope(std::move(*box));
         note_message_done();
       },
       /*src_override=*/0);
@@ -256,7 +256,7 @@ void Runtime::broadcast_tree_leg(CollectionId col, EntryId ep,
   machine_.send(
       abs, wire, priority,
       [this, col, ep, payload, priority, root, relative_rank, abs]() {
-        if (!dead_[static_cast<std::size_t>(abs)]) {
+        if (pe_alive(abs)) {
           // Forward down the spanning tree before local delivery so subtree
           // sends overlap with this PE's delivery work.
           for (int i = 1; i <= cfg_.bcast_fanout; ++i) {
@@ -297,7 +297,7 @@ void Runtime::broadcast_apply_leg(
   machine_.send(
       abs, 48, priority,
       [this, col, fn, priority, root, relative_rank, abs]() {
-        if (!dead_[static_cast<std::size_t>(abs)]) {
+        if (pe_alive(abs)) {
           for (int i = 1; i <= cfg_.bcast_fanout; ++i) {
             const int child = relative_rank * cfg_.bcast_fanout + i;
             if (child < active_pes_) broadcast_apply_leg(col, fn, priority, root, child);
@@ -336,7 +336,7 @@ void Runtime::send_control(int dst, std::size_t bytes, std::function<void()> fn,
   machine_.send(
       dst, bytes + 48, priority,
       [this, dst, fn = std::move(fn)]() {
-        if (!dead_[static_cast<std::size_t>(dst)]) fn();
+        if (pe_alive(dst)) fn();
         note_message_done();
       },
       /*src_override=*/0);

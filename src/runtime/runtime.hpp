@@ -130,6 +130,11 @@ class Runtime {
   /// and messages to it are discarded (counted, so QD still converges).
   void set_pe_dead(int pe, bool dead);
   bool pe_dead(int pe) const { return dead_.at(static_cast<std::size_t>(pe)); }
+  /// Live at both layers: not marked dead by the FT protocol and not
+  /// quarantined by machine-level fault injection.
+  bool pe_alive(int pe) const {
+    return !dead_.at(static_cast<std::size_t>(pe)) && !machine_.pe_failed(pe);
+  }
 
   /// The element whose handler is currently executing (null outside).
   ArrayElementBase* current_element() const { return exec_elem_; }

@@ -1,0 +1,152 @@
+#pragma once
+// Deterministic fault injection for the emulated machine.
+//
+// A FaultInjector owns a seeded schedule of PE-failure events.  The Machine
+// event loop consults it before dispatching each event, so failures land
+// *between* handler executions at exact virtual timestamps — never mid-entry.
+// Three schedule modes:
+//
+//   * kFixed   — an explicit list of (time, victim) pairs; victim -1 means
+//                "pick a live PE with the seeded RNG".
+//   * kMtbf    — Poisson process: exponential inter-failure gaps with the
+//                configured mean (MTBF), seeded victim selection.
+//   * kNemesis — adversarial timing: failures can be armed by runtime phase
+//                hooks (checkpoint begin, LB-step begin) so they strike
+//                mid-protocol, and the victim is the *busiest* live PE
+//                (longest ready queue, then most accumulated work).  An
+//                optional MTBF stream runs underneath the hooks.
+//
+// On injection the Machine quarantines the victim: queued messages are
+// dropped and in-flight messages addressed to it are disposed of per the
+// configured policy (see DropPolicy).  Each failure appends a FaultRecord to
+// a log; the log's canonical text form is byte-identical across runs with
+// the same seed, which is what the resilience harness asserts.
+//
+// The injector is pure sim-layer machinery: recovery is the business of
+// whoever registers the failure listener (ft::MemCheckpointer in practice).
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/rng.hpp"
+
+namespace sim {
+
+class Machine;
+
+enum class FaultMode : std::uint8_t { kOff, kFixed, kMtbf, kNemesis };
+
+/// What happens to a message addressed to a failed PE (both the victim's
+/// queued messages at injection time and later in-flight arrivals).
+enum class DropPolicy : std::uint8_t {
+  /// The message evaporates: its handler runs in a zero-cost quarantine
+  /// context so upper-layer accounting (quiescence counting) still balances,
+  /// but no virtual time is charged and no PE clock advances.
+  kDrop,
+  /// The message is re-delivered to the nearest live PE (victim+1, +2, ...).
+  /// Upper layers still suppress application effects for the dead target;
+  /// this models networks that reroute around a failed node.
+  kRedirect,
+};
+
+struct FaultConfig {
+  FaultMode mode = FaultMode::kOff;
+  DropPolicy policy = DropPolicy::kDrop;
+  /// kFixed: explicit (virtual time, victim PE) schedule; victim -1 = random.
+  std::vector<std::pair<Time, int>> fixed;
+  /// kMtbf / kNemesis: mean virtual seconds between failures (0 = hooks only).
+  double mtbf = 0;
+  std::uint64_t seed = 1;
+  /// Total failures this injector may fire (schedule + armed hooks).
+  int max_failures = 1;
+  /// No failure fires before this virtual time (lets the application commit
+  /// a first checkpoint so every run is recoverable).
+  Time start_after = 0;
+  /// Minimum gap between consecutive failures (recovery headroom).
+  Time min_gap = 0;
+  /// kNemesis: arm a failure when these runtime phases begin.
+  bool strike_mid_checkpoint = false;
+  bool strike_mid_lb = false;
+  /// kNemesis: delay from phase begin to the armed failure.
+  Time strike_delay = 1e-6;
+};
+
+struct FaultRecord {
+  int ordinal = 0;              ///< 0-based injection index
+  Time time = 0;                ///< exact virtual injection timestamp
+  int pe = -1;                  ///< victim
+  std::uint64_t dropped_ready = 0;       ///< victim's queued messages disposed
+  std::uint64_t dropped_inflight = 0;    ///< later arrivals dropped while dead
+  std::uint64_t redirected_inflight = 0; ///< later arrivals rerouted while dead
+};
+
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+  explicit FaultInjector(FaultConfig cfg) { configure(std::move(cfg)); }
+
+  /// Installs a schedule and resets all derived state (log, RNG, arming).
+  void configure(FaultConfig cfg);
+  const FaultConfig& config() const { return cfg_; }
+
+  /// Called synchronously at each injection, after the machine has
+  /// quarantined the victim.  Runs outside any handler context.
+  void set_listener(std::function<void(const FaultRecord&)> fn) {
+    listener_ = std::move(fn);
+  }
+
+  /// One-shot: schedule a failure at absolute virtual time `t` (tests,
+  /// adversarial drivers).  Overrides nothing; fires whichever of the armed
+  /// and scheduled failures comes first.  Counts toward max_failures.
+  void arm(Time t, int victim = -1);
+
+  // ---- nemesis phase hooks (called by ft/lb when a protocol phase begins) --
+  void notify_checkpoint_begin(Time now);
+  void notify_lb_begin(Time now);
+
+  // ---- machine interface ---------------------------------------------------
+  /// True when a failure is scheduled and the budget is not exhausted.
+  bool armed() const;
+  /// Virtual time of the next failure (meaningless unless armed()).
+  Time next_time() const;
+  /// Deterministically selects the victim for the failure at next_time().
+  /// Returns -1 when no live PE remains (the failure is then skipped).
+  int choose_victim(const Machine& m);
+  /// Consumes the pending failure without firing it (no live victim).
+  void skip();
+  /// Commits a fired failure: appends to the log, advances the schedule,
+  /// then invokes the listener.
+  void committed(const FaultRecord& rec);
+  /// Accumulates in-flight disposal counts into the record for `pe`'s most
+  /// recent failure (log stays deterministic: counts are part of replay).
+  void note_inflight(int pe, bool redirected);
+
+  // ---- results -------------------------------------------------------------
+  const std::vector<FaultRecord>& log() const { return log_; }
+  int failures_injected() const { return static_cast<int>(log_.size()); }
+  /// Canonical text form of the log; byte-identical across same-seed runs.
+  std::string format_log() const;
+
+ private:
+  void schedule_next(Time after);
+
+  FaultConfig cfg_{};
+  Rng rng_{1};
+  std::function<void(const FaultRecord&)> listener_;
+  std::size_t fixed_cursor_ = 0;
+  bool scheduled_ = false;   ///< schedule stream has a pending time
+  Time scheduled_time_ = 0;
+  int scheduled_victim_ = -1;
+  bool armed_oneshot_ = false;
+  Time armed_time_ = 0;
+  int armed_victim_ = -1;
+  int budget_used_ = 0;      ///< fired + skipped failures
+  std::vector<FaultRecord> log_;
+  std::vector<int> record_of_pe_;  ///< per-PE index of the live failure record
+};
+
+}  // namespace sim

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "sim/fault_injector.hpp"
 #include "trace/trace.hpp"
 
 namespace sim {
@@ -77,12 +78,27 @@ void Machine::schedule_exec(int pe_id, Time not_before) {
 
 bool Machine::step() {
   if (stopped_ || queue_.empty()) return false;
+  // Injected failures due at or before the next event fire first, between
+  // handler executions, at their exact virtual timestamps.  Failures that
+  // would land after the last event never fire (the run is over).
+  while (injector_ != nullptr && injector_->armed() &&
+         injector_->next_time() <= queue_.top().time) {
+    inject_failure();
+    if (stopped_ || queue_.empty()) return false;
+  }
   Event e = queue_.pop();
   time_ = std::max(time_, e.time);
   ++events_processed_;
   Pe& p = pes_[static_cast<std::size_t>(e.pe)];
 
   if (e.kind == Event::Kind::kArrive) {
+    if (p.failed_) {
+      // In-flight message reaches a quarantined PE: dispose per policy.
+      const bool redirected =
+          dispose(e.pe, e.time, e.priority, e.bytes, std::move(e.fn), nullptr);
+      if (injector_ != nullptr) injector_->note_inflight(e.pe, redirected);
+      return true;
+    }
     p.ready_.push(Pe::ReadyMsg{e.priority, e.time, e.seq, e.bytes, std::move(e.fn)});
     schedule_exec(e.pe, e.time);
     return true;
@@ -116,6 +132,77 @@ bool Machine::step() {
 void Machine::run() {
   while (step()) {
   }
+}
+
+// ---- fault injection --------------------------------------------------------
+
+void Machine::inject_failure() {
+  const Time t = std::max(injector_->next_time(), time_);
+  const int victim = injector_->choose_victim(*this);
+  if (victim < 0) {  // nothing left to kill
+    injector_->skip();
+    return;
+  }
+  time_ = t;
+  FaultRecord rec;
+  rec.time = t;
+  rec.pe = victim;
+  fail_pe(victim, &rec);
+  if (tracer_ != nullptr)
+    tracer_->phase_span(trace::Phase::kFailure, victim, t, t);
+  injector_->committed(rec);
+}
+
+void Machine::fail_pe(int pe_id, FaultRecord* rec) {
+  Pe& p = pes_.at(static_cast<std::size_t>(pe_id));
+  if (p.failed_) return;
+  p.failed_ = true;
+  if (rec != nullptr) rec->dropped_ready = p.ready_.size();
+  // Dispose queued messages in deterministic (priority, arrival, seq) order.
+  // They count as dropped_ready, not as in-flight disposals.
+  while (!p.ready_.empty()) {
+    Pe::ReadyMsg msg = std::move(const_cast<Pe::ReadyMsg&>(p.ready_.top()));
+    p.ready_.pop();
+    dispose(pe_id, time_, msg.priority, msg.bytes, std::move(msg.fn), nullptr);
+  }
+}
+
+void Machine::revive_pe(int pe_id) {
+  pes_.at(static_cast<std::size_t>(pe_id)).failed_ = false;
+}
+
+bool Machine::dispose(int dead_pe, Time at, int priority, std::size_t bytes,
+                      Handler fn, FaultRecord*) {
+  const DropPolicy policy =
+      injector_ != nullptr ? injector_->config().policy : DropPolicy::kDrop;
+  if (policy == DropPolicy::kRedirect) {
+    // Re-deliver to the nearest live PE; fall through to drop if none is left.
+    for (int k = 1; k < npes(); ++k) {
+      const int cand = (dead_pe + k) % npes();
+      if (pes_[static_cast<std::size_t>(cand)].failed_) continue;
+      ++redirects_;
+      Event e;
+      e.time = std::max(at, time_);
+      e.seq = next_seq();
+      e.kind = Event::Kind::kArrive;
+      e.pe = cand;
+      e.priority = priority;
+      e.bytes = bytes;
+      e.fn = std::move(fn);
+      queue_.push(std::move(e));
+      return true;
+    }
+  }
+  // Drop: the handler still runs, in a zero-cost quarantine context on the
+  // dead PE, so upper-layer message accounting (quiescence counting) stays
+  // balanced.  Charged work is discarded; no clock advances.  Upper layers
+  // see pe_failed() and suppress application effects.
+  ++drops_;
+  const ExecCtx saved = ctx_;
+  ctx_ = ExecCtx{dead_pe, std::max(at, time_), 0.0};
+  fn();
+  ctx_ = saved;
+  return false;
 }
 
 Time Machine::max_pe_clock() const {

@@ -32,6 +32,9 @@ class Tracer;
 
 namespace sim {
 
+class FaultInjector;
+struct FaultRecord;
+
 struct MachineConfig {
   int npes = 1;
   NetworkParams net{};
@@ -49,6 +52,8 @@ class Pe {
   double busy_time() const { return busy_; }
   std::uint64_t executed() const { return executed_; }
   std::size_t queue_length() const { return ready_.size(); }
+  /// True while the PE is quarantined by fault injection.
+  bool failed() const { return failed_; }
 
  private:
   friend class Machine;
@@ -73,6 +78,7 @@ class Pe {
   double busy_ = 0;
   std::uint64_t executed_ = 0;
   bool exec_pending_ = false;
+  bool failed_ = false;
   std::priority_queue<ReadyMsg, std::vector<ReadyMsg>, LowerPriorityFirst> ready_;
 };
 
@@ -131,6 +137,27 @@ class Machine {
   /// Max over PE clocks — "makespan" of everything executed so far.
   Time max_pe_clock() const;
 
+  // ---- fault injection -------------------------------------------------
+
+  /// Attaches a failure schedule (nullptr detaches).  The event loop consults
+  /// it before each dispatch, so injections land between handler executions
+  /// at their exact virtual timestamps.
+  void set_fault_injector(FaultInjector* fi) { injector_ = fi; }
+  FaultInjector* fault_injector() const { return injector_; }
+
+  bool pe_failed(int pe) const { return pes_.at(static_cast<std::size_t>(pe)).failed_; }
+  /// Quarantines `pe` immediately: queued messages are disposed per the
+  /// injector's drop policy (kDrop when no injector is attached) and later
+  /// arrivals are disposed on delivery.  `rec`, when given, accumulates
+  /// disposal counts.  Normally driven by the injector, callable directly.
+  void fail_pe(int pe, FaultRecord* rec = nullptr);
+  /// Lifts the quarantine (the replacement process takes over the slot).
+  void revive_pe(int pe);
+
+  /// Messages disposed at failed PEs (machine level), by policy.
+  std::uint64_t messages_dropped() const { return drops_; }
+  std::uint64_t messages_redirected() const { return redirects_; }
+
   // ---- tracing ---------------------------------------------------------
 
   /// Attaches a trace log (nullptr detaches).  Recording never charges
@@ -148,17 +175,24 @@ class Machine {
 
   void schedule_exec(int pe, Time not_before);
   std::uint64_t next_seq() { return seq_++; }
+  void inject_failure();
+  /// Returns true when the message was redirected to a live PE.
+  bool dispose(int dead_pe, Time at, int priority, std::size_t bytes, Handler fn,
+               FaultRecord* rec);
 
   MachineConfig cfg_;
   Torus3D topo_;
   NetworkModel net_;
   trace::Tracer* tracer_ = nullptr;
+  FaultInjector* injector_ = nullptr;
   std::vector<Pe> pes_;
   EventQueue queue_;
   ExecCtx ctx_;
   Time time_ = 0;
   std::uint64_t seq_ = 0;
   std::uint64_t events_processed_ = 0;
+  std::uint64_t drops_ = 0;
+  std::uint64_t redirects_ = 0;
   bool stopped_ = false;
 };
 

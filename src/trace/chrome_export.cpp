@@ -26,6 +26,7 @@ const char* phase_name(Phase p) {
     case Phase::kLbStep: return "lb_step";
     case Phase::kCheckpoint: return "checkpoint";
     case Phase::kRestore: return "restore";
+    case Phase::kFailure: return "failure";
     case Phase::kCustom: break;
   }
   return "phase";

@@ -31,7 +31,7 @@ namespace trace {
 
 enum class Kind : std::uint8_t { kExec, kEntry, kSend, kRecv, kIdle, kPhase };
 
-enum class Phase : std::uint8_t { kLbStep, kCheckpoint, kRestore, kCustom };
+enum class Phase : std::uint8_t { kLbStep, kCheckpoint, kRestore, kFailure, kCustom };
 
 struct Event {
   Kind kind = Kind::kExec;

@@ -5,16 +5,14 @@
 
 #include "ampi/ampi.hpp"
 
+#include "test_util.hpp"
+
 namespace {
 
 using namespace charm;
 using ampi::Comm;
 
-struct Harness {
-  sim::Machine machine;
-  charm::Runtime rt;
-  explicit Harness(int npes) : machine(sim::MachineConfig{npes, {}, 4}), rt(machine) {}
-};
+using charmtest::Harness;
 
 TEST(Ampi, AllRanksRunAndComplete) {
   Harness h(4);

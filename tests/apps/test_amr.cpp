@@ -9,17 +9,15 @@
 #include "ft/mem_checkpoint.hpp"
 #include "miniapps/amr/amr.hpp"
 
+#include "test_util.hpp"
+
 namespace {
 
 using namespace charm;
 using amr::Mesh;
 using amr::Params;
 
-struct Harness {
-  sim::Machine machine;
-  charm::Runtime rt;
-  explicit Harness(int npes) : machine(sim::MachineConfig{npes, {}, 4}), rt(machine) {}
-};
+using charmtest::Harness;
 
 TEST(AmrIndex, CoordsRoundTrip) {
   for (int depth = 1; depth <= 4; ++depth) {

@@ -7,15 +7,13 @@
 #include "miniapps/barnes/barnes.hpp"
 #include "miniapps/lulesh/lulesh.hpp"
 
+#include "test_util.hpp"
+
 namespace {
 
 using namespace charm;
 
-struct Harness {
-  sim::Machine machine;
-  charm::Runtime rt;
-  explicit Harness(int npes) : machine(sim::MachineConfig{npes, {}, 4}), rt(machine) {}
-};
+using charmtest::Harness;
 
 barnes::Params small_barnes() {
   barnes::Params p;

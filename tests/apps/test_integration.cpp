@@ -12,15 +12,13 @@
 #include "miniapps/stencil/stencil.hpp"
 #include "power/power_manager.hpp"
 
+#include "test_util.hpp"
+
 namespace {
 
 using namespace charm;
 
-struct Harness {
-  sim::Machine machine;
-  charm::Runtime rt;
-  explicit Harness(int npes) : machine(sim::MachineConfig{npes, {}, 4}), rt(machine) {}
-};
+using charmtest::Harness;
 
 TEST(Integration, LeanMdShrinkDoublesStepTimeExpandRestores) {
   // The Fig 5 mechanism end-to-end on the real mini-app.

@@ -9,17 +9,15 @@
 #include "ft/mem_checkpoint.hpp"
 #include "miniapps/leanmd/leanmd.hpp"
 
+#include "test_util.hpp"
+
 namespace {
 
 using namespace charm;
 using leanmd::Params;
 using leanmd::Simulation;
 
-struct Harness {
-  sim::Machine machine;
-  charm::Runtime rt;
-  explicit Harness(int npes) : machine(sim::MachineConfig{npes, {}, 4}), rt(machine) {}
-};
+using charmtest::Harness;
 
 Params small_params() {
   Params p;

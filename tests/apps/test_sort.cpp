@@ -9,15 +9,13 @@
 #include "ampi/ampi.hpp"
 #include "sort/sorting.hpp"
 
+#include "test_util.hpp"
+
 namespace {
 
 using namespace charm;
 
-struct Harness {
-  sim::Machine machine;
-  charm::Runtime rt;
-  explicit Harness(int npes) : machine(sim::MachineConfig{npes, {}, 4}), rt(machine) {}
-};
+using charmtest::Harness;
 
 std::uint64_t checksum(const sortlib::Library& lib, int npes) {
   std::uint64_t x = 0;

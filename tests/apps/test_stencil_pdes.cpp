@@ -5,15 +5,13 @@
 #include "miniapps/pdes/pdes.hpp"
 #include "miniapps/stencil/stencil.hpp"
 
+#include "test_util.hpp"
+
 namespace {
 
 using namespace charm;
 
-struct Harness {
-  sim::Machine machine;
-  charm::Runtime rt;
-  explicit Harness(int npes) : machine(sim::MachineConfig{npes, {}, 4}), rt(machine) {}
-};
+using charmtest::Harness;
 
 // ---- Stencil2D ---------------------------------------------------------------
 

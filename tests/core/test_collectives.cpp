@@ -4,6 +4,8 @@
 
 #include "runtime/charm.hpp"
 
+#include "test_util.hpp"
+
 namespace {
 
 using charm::ArrayProxy;
@@ -52,11 +54,7 @@ class Contributor : public charm::ArrayElement<Contributor, std::int32_t> {
 
 Callback Contributor::cb;
 
-struct Harness {
-  sim::Machine machine;
-  charm::Runtime rt;
-  explicit Harness(int npes) : machine(sim::MachineConfig{npes, {}, 4}), rt(machine) {}
-};
+using charmtest::Harness;
 
 ArrayProxy<Contributor> make_array(Harness& h, int n) {
   auto arr = ArrayProxy<Contributor>::create(h.rt);

@@ -6,6 +6,8 @@
 
 #include "runtime/charm.hpp"
 
+#include "test_util.hpp"
+
 namespace {
 
 using charm::ArrayProxy;
@@ -36,22 +38,7 @@ class Roamer : public charm::ArrayElement<Roamer, std::int32_t> {
   }
 };
 
-struct Harness {
-  sim::Machine machine;
-  charm::Runtime rt;
-  explicit Harness(int npes) : machine(sim::MachineConfig{npes, {}, 4}), rt(machine) {}
-
-  Roamer* find(charm::CollectionId col, std::int32_t ix, int* pe_out = nullptr) {
-    for (int pe = 0; pe < rt.npes(); ++pe) {
-      auto* f = rt.collection(col).find(pe, charm::IndexTraits<std::int32_t>::encode(ix));
-      if (f) {
-        if (pe_out) *pe_out = pe;
-        return static_cast<Roamer*>(f);
-      }
-    }
-    return nullptr;
-  }
-};
+using charmtest::Harness;
 
 TEST(Location, ElementSeededAwayFromHomeIsReachable) {
   Harness h(8);
@@ -62,7 +49,7 @@ TEST(Location, ElementSeededAwayFromHomeIsReachable) {
   arr.seed(ix, 3);
   h.rt.on_pe(0, [&] { arr[ix].send<&Roamer::recv>(Msg{1}); });
   h.machine.run();
-  EXPECT_EQ(h.find(arr.id(), ix)->log.size(), 1u);
+  EXPECT_EQ(h.find<Roamer>(arr.id(), ix)->log.size(), 1u);
 }
 
 TEST(Location, MigrationPreservesStateViaPup) {
@@ -76,7 +63,7 @@ TEST(Location, MigrationPreservesStateViaPup) {
   });
   h.machine.run();
   int pe = -1;
-  Roamer* r = h.find(arr.id(), 0, &pe);
+  Roamer* r = h.find<Roamer>(arr.id(), 0, &pe);
   ASSERT_NE(r, nullptr);
   EXPECT_EQ(pe, 2);
   EXPECT_EQ(r->migrations_seen, 1);
@@ -93,11 +80,11 @@ TEST(Location, RngStreamSurvivesMigration) {
   sim::Rng ref{7};
   (void)ref.next_u64();
   h.rt.on_pe(0, [&] {
-    h.find(arr.id(), 0)->rng.next_u64();  // advance once
+    h.find<Roamer>(arr.id(), 0)->rng.next_u64();  // advance once
     arr[0].send<&Roamer::hop>(Msg{3});
   });
   h.machine.run();
-  EXPECT_EQ(h.find(arr.id(), 0)->rng.next_u64(), ref.next_u64());
+  EXPECT_EQ(h.find<Roamer>(arr.id(), 0)->rng.next_u64(), ref.next_u64());
 }
 
 TEST(Location, MessagesInFlightDuringMigrationAreDelivered) {
@@ -115,7 +102,7 @@ TEST(Location, MessagesInFlightDuringMigrationAreDelivered) {
   });
   h.machine.run();
   int pe = -1;
-  Roamer* r = h.find(arr.id(), 0, &pe);
+  Roamer* r = h.find<Roamer>(arr.id(), 0, &pe);
   ASSERT_NE(r, nullptr);
   EXPECT_EQ(pe, 6);
   EXPECT_EQ(r->migrations_seen, 2);
@@ -144,7 +131,7 @@ TEST(Location, CacheLearnsNewLocation) {
   }
   const std::uint64_t fwds = h.rt.forwards() - before;
   EXPECT_LE(fwds, 2u) << "location cache should stop repeated forwarding";
-  EXPECT_EQ(h.find(arr.id(), 0)->log.size(), 6u);
+  EXPECT_EQ(h.find<Roamer>(arr.id(), 0)->log.size(), 6u);
 }
 
 TEST(Location, HomeTablesAreDistributed) {
@@ -175,7 +162,7 @@ TEST(Location, RebuildLocationTablesAfterManualMoves) {
   });
   h.machine.run();
   for (int i = 0; i < 12; ++i) {
-    Roamer* r = h.find(arr.id(), i);
+    Roamer* r = h.find<Roamer>(arr.id(), i);
     ASSERT_NE(r, nullptr) << i;
     EXPECT_EQ(r->log.back(), 100 + i);
   }
@@ -206,7 +193,7 @@ TEST_P(LocationStress, RandomMigrationsNeverLoseMessages) {
   h.machine.run();
   int delivered = 0;
   for (int i = 0; i < nelems; ++i) {
-    Roamer* r = h.find(arr.id(), i);
+    Roamer* r = h.find<Roamer>(arr.id(), i);
     ASSERT_NE(r, nullptr);
     delivered += static_cast<int>(r->log.size());
   }

@@ -6,6 +6,8 @@
 
 #include "runtime/charm.hpp"
 
+#include "test_util.hpp"
+
 namespace {
 
 using charm::ArrayProxy;
@@ -53,11 +55,7 @@ class Counter : public charm::ArrayElement<Counter, std::int32_t> {
   }
 };
 
-struct Harness {
-  sim::Machine machine;
-  charm::Runtime rt;
-  explicit Harness(int npes) : machine(sim::MachineConfig{npes, {}, 4}), rt(machine) {}
-};
+using charmtest::Harness;
 
 Counter* find_counter(Harness& h, charm::CollectionId col, std::int32_t ix) {
   for (int pe = 0; pe < h.rt.npes(); ++pe) {

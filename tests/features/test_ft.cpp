@@ -9,6 +9,8 @@
 #include "ft/mem_checkpoint.hpp"
 #include "runtime/charm.hpp"
 
+#include "test_util.hpp"
+
 namespace {
 
 using namespace charm;
@@ -38,11 +40,7 @@ class Cell : public charm::ArrayElement<Cell, std::int32_t> {
   }
 };
 
-struct Harness {
-  sim::Machine machine;
-  charm::Runtime rt;
-  explicit Harness(int npes) : machine(sim::MachineConfig{npes, {}, 4}), rt(machine) {}
-};
+using charmtest::Harness;
 
 Cell* find_cell(Runtime& rt, CollectionId col, std::int32_t ix, int* pe_out = nullptr) {
   for (int pe = 0; pe < rt.npes(); ++pe) {
@@ -226,6 +224,100 @@ TEST(MemCheckpoint, InMemoryFasterThanDisk) {
   ASSERT_GT(t_disk, 0);
   EXPECT_LT(t_mem, t_disk);
   std::remove(kCkptPath);
+}
+
+TEST(MemCheckpoint, BackToBackFailuresCoalesceIntoOneRecovery) {
+  // A second fail_and_recover before the first detection window closes must
+  // extend the pending recovery, and both victims must come back in one
+  // combined restore (each callback still fires).
+  Harness h(6);
+  auto arr = ArrayProxy<Cell>::create(h.rt);
+  for (int i = 0; i < 18; ++i) arr.seed(i, i % 6);
+  ft::MemCheckpointer ckpt(h.rt);
+  int recovered = 0;
+  h.rt.on_pe(0, [&] {
+    arr.broadcast<&Cell::init>();
+    arr.broadcast<&Cell::work>(Msg{5});
+    h.rt.start_quiescence(Callback::to_function([&](ReductionResult&&) {
+      ckpt.checkpoint(Callback::to_function([&](ReductionResult&&) {
+        ckpt.fail_and_recover(1, Callback::to_function([&](ReductionResult&&) {
+          ++recovered;
+        }));
+        // Non-adjacent second victim, same detection window.
+        ckpt.fail_and_recover(4, Callback::to_function([&](ReductionResult&&) {
+          ++recovered;
+        }));
+        EXPECT_TRUE(ckpt.recovery_pending());
+      }));
+    }));
+  });
+  h.machine.run();
+  EXPECT_EQ(recovered, 2);
+  EXPECT_EQ(ckpt.recoveries_completed(), 1);
+  ASSERT_EQ(ckpt.recovery_log().size(), 1u);
+  EXPECT_EQ(ckpt.recovery_log()[0].victims, (std::vector<int>{1, 4}));
+  for (int i = 0; i < 18; ++i) {
+    Cell* c = find_cell(h.rt, arr.id(), i);
+    ASSERT_NE(c, nullptr) << i;
+    EXPECT_EQ(c->steps, 5);
+  }
+}
+
+TEST(MemCheckpoint, VictimEqualBuddyOfPriorVictimRecoversAfterReReplication) {
+  // PE 3 is the buddy holding PE 2's checkpoint copies.  After PE 2's
+  // recovery completes, the lost double copies are re-replicated, so PE 3
+  // failing next is still recoverable.
+  Harness h(6);
+  auto arr = ArrayProxy<Cell>::create(h.rt);
+  for (int i = 0; i < 18; ++i) arr.seed(i, i % 6);
+  ft::MemCheckpointer ckpt(h.rt);
+  bool second_recovered = false;
+  h.rt.on_pe(0, [&] {
+    arr.broadcast<&Cell::init>();
+    arr.broadcast<&Cell::work>(Msg{5});
+    h.rt.start_quiescence(Callback::to_function([&](ReductionResult&&) {
+      ckpt.checkpoint(Callback::to_function([&](ReductionResult&&) {
+        ckpt.fail_and_recover(2, Callback::to_function([&](ReductionResult&&) {
+          ckpt.fail_and_recover(3, Callback::to_function([&](ReductionResult&&) {
+            second_recovered = true;
+          }));
+        }));
+      }));
+    }));
+  });
+  h.machine.run();
+  ASSERT_TRUE(second_recovered);
+  EXPECT_EQ(ckpt.recoveries_completed(), 2);
+  for (int i = 0; i < 18; ++i) {
+    Cell* c = find_cell(h.rt, arr.id(), i);
+    ASSERT_NE(c, nullptr) << i;
+    EXPECT_EQ(c->steps, 5) << "element " << i << " not rolled back correctly";
+  }
+}
+
+TEST(MemCheckpoint, SimultaneousAdjacentFailuresAreCleanlyUnrecoverable) {
+  // Victim and its buddy in the same detection window: the only copy of the
+  // first victim's state is gone.  Must be a clean error, not UB or a hang.
+  Harness h(6);
+  auto arr = ArrayProxy<Cell>::create(h.rt);
+  for (int i = 0; i < 18; ++i) arr.seed(i, i % 6);
+  ft::MemCheckpointer ckpt(h.rt);
+  bool threw = false;
+  h.rt.on_pe(0, [&] {
+    arr.broadcast<&Cell::init>();
+    h.rt.start_quiescence(Callback::to_function([&](ReductionResult&&) {
+      ckpt.checkpoint(Callback::to_function([&](ReductionResult&&) {
+        ckpt.fail_and_recover(2, Callback::ignore());
+        try {
+          ckpt.fail_and_recover(3, Callback::ignore());
+        } catch (const std::runtime_error&) {
+          threw = true;
+        }
+      }));
+    }));
+  });
+  h.machine.run();
+  EXPECT_TRUE(threw);
 }
 
 // Parameterized: recovery works no matter which PE dies.

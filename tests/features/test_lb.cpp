@@ -10,6 +10,8 @@
 #include "lb/meta.hpp"
 #include "runtime/charm.hpp"
 
+#include "test_util.hpp"
+
 namespace {
 
 using namespace charm;
@@ -197,11 +199,7 @@ class Worker : public charm::ArrayElement<Worker, std::int32_t> {
   }
 };
 
-struct Harness {
-  sim::Machine machine;
-  charm::Runtime rt;
-  explicit Harness(int npes) : machine(sim::MachineConfig{npes, {}, 4}), rt(machine) {}
-};
+using charmtest::Harness;
 
 TEST(LbManager, AtSyncRoundsResumeEveryone) {
   Harness h(4);

@@ -15,6 +15,8 @@
 #include "trace/time_profile.hpp"
 #include "trace/trace.hpp"
 
+#include "test_util.hpp"
+
 namespace {
 
 using namespace charm;
@@ -41,11 +43,7 @@ class Ponger : public charm::ArrayElement<Ponger, std::int32_t> {
   }
 };
 
-struct Harness {
-  sim::Machine machine;
-  charm::Runtime rt;
-  explicit Harness(int npes) : machine(sim::MachineConfig{npes, {}, 4}), rt(machine) {}
-};
+using charmtest::Harness;
 
 // Runs a 2-PE ping-pong with `hops` total entry invocations.
 void run_pingpong(Harness& h, trace::Tracer* tracer, int hops) {

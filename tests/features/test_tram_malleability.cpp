@@ -6,6 +6,8 @@
 #include "runtime/charm.hpp"
 #include "tram/tram.hpp"
 
+#include "test_util.hpp"
+
 namespace {
 
 using namespace charm;
@@ -28,11 +30,7 @@ class Sink : public charm::ArrayElement<Sink, std::int32_t> {
   }
 };
 
-struct Harness {
-  sim::Machine machine;
-  charm::Runtime rt;
-  explicit Harness(int npes) : machine(sim::MachineConfig{npes, {}, 4}), rt(machine) {}
-};
+using charmtest::Harness;
 
 Sink* find_sink(Runtime& rt, CollectionId col, std::int32_t ix) {
   for (int pe = 0; pe < rt.npes(); ++pe) {
