@@ -4,11 +4,17 @@
 // prints the series the paper plots; EXPERIMENTS.md records the
 // paper-vs-measured comparison.
 //
-// Flags (parsed by bench::parse_args, accepted by every figure binary):
+// Flags (parsed by bench::parse_args from one option table, accepted by every
+// figure binary):
 //   --smoke        shrink PE series / step counts to a CI-sized sanity run
 //   --trace=FILE   attach a tracer to each simulated machine and write the
 //                  LAST traced run as Chrome trace_event JSON to FILE
 //                  (open in chrome://tracing or ui.perfetto.dev)
+//   --stats=FILE   write machine-readable analytics JSON (schema
+//                  "charmlike-stats", DESIGN.md §6): the printed series plus
+//                  usage profile, comm matrix, imbalance, and critical path
+//                  of the LAST traced run.  CI emits BENCH_<fig>.json this
+//                  way; inspect/diff with tools/statsview.
 //   --mtbf=SEC     (fault-tolerant benches only) inject PE failures with the
 //                  given mean time between failures, in virtual seconds
 //   --failures=N   cap the number of injected failures (default 1)
@@ -22,6 +28,8 @@
 #include <vector>
 
 #include "runtime/charm.hpp"
+#include "stats/json_export.hpp"
+#include "stats/report.hpp"
 #include "trace/chrome_export.hpp"
 #include "trace/summary.hpp"
 #include "trace/time_profile.hpp"
@@ -39,36 +47,18 @@ inline sim::MachineConfig machine_config(int npes,
   return cfg;
 }
 
-inline void header(const std::string& fig, const std::string& title) {
-  std::printf("\n== %s: %s ==\n", fig.c_str(), title.c_str());
-}
-
-inline void columns(const std::vector<std::string>& names) {
-  for (const auto& n : names) std::printf("%16s", n.c_str());
-  std::printf("\n");
-}
-
-inline void row(const std::vector<double>& values) {
-  for (double v : values) std::printf("%16.6g", v);
-  std::printf("\n");
-}
-
-inline void note(const std::string& s) { std::printf("   %s\n", s.c_str()); }
-
-/// Runs the machine to completion and returns the makespan in virtual seconds.
-inline double run_to_completion(sim::Machine& m) {
-  m.run();
-  return m.max_pe_clock();
-}
-
 // ---- common flags ------------------------------------------------------------
 
 struct Options {
   bool smoke = false;       ///< tiny PE counts / few steps (CI sanity mode)
   std::string trace_file;   ///< Chrome trace_event output ("" = tracing off)
+  std::string stats_file;   ///< analytics JSON output ("" = stats off)
   double mtbf = 0;          ///< >0: inject failures with this MTBF (virtual s)
   int failures = 1;         ///< failure budget when mtbf > 0
   std::uint64_t fault_seed = 1;  ///< failure schedule seed
+
+  std::string bench_name;   ///< basename of argv[0], stamped into stats JSON
+  int traced_npes = 0;      ///< PE count of the last machine given the tracer
 };
 
 inline Options& options() {
@@ -76,33 +66,120 @@ inline Options& options() {
   return o;
 }
 
-/// Parses the common flags; rejects anything else so typos fail CI.
+/// Captured copy of everything the bench printed (title/columns/rows/notes),
+/// exported verbatim into the stats JSON as the figure's series.
+struct Series {
+  std::vector<stats::SeriesTable> tables;
+  std::vector<std::string> notes;
+  std::string pending_title;
+};
+
+inline Series& series() {
+  static Series s;
+  return s;
+}
+
+namespace detail {
+
+/// One row of the option table.  `arg` == nullptr marks a boolean flag;
+/// otherwise the flag is `--name=ARG` and `parse` gets the value (returning
+/// false to reject it with `error`).
+struct FlagSpec {
+  const char* name;
+  const char* arg;
+  const char* error;
+  bool (*parse)(const char* value);
+};
+
+inline const FlagSpec* flag_table(std::size_t* count) {
+  static const FlagSpec kFlags[] = {
+      {"--smoke", nullptr, nullptr,
+       [](const char*) {
+         options().smoke = true;
+         return true;
+       }},
+      {"--trace", "FILE", nullptr,
+       [](const char* v) {
+         options().trace_file = v;
+         return true;
+       }},
+      {"--stats", "FILE", nullptr,
+       [](const char* v) {
+         options().stats_file = v;
+         return true;
+       }},
+      {"--mtbf", "SEC", "needs a positive time in seconds",
+       [](const char* v) {
+         options().mtbf = std::strtod(v, nullptr);
+         return options().mtbf > 0;
+       }},
+      {"--failures", "N", "needs a positive count",
+       [](const char* v) {
+         options().failures = std::atoi(v);
+         return options().failures > 0;
+       }},
+      {"--fault-seed", "N", nullptr,
+       [](const char* v) {
+         options().fault_seed = std::strtoull(v, nullptr, 10);
+         return true;
+       }},
+  };
+  *count = sizeof(kFlags) / sizeof(kFlags[0]);
+  return kFlags;
+}
+
+inline std::string flag_usage() {
+  std::size_t n = 0;
+  const FlagSpec* flags = flag_table(&n);
+  std::string usage;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!usage.empty()) usage += ", ";
+    usage += flags[i].name;
+    if (flags[i].arg != nullptr) {
+      usage += "=";
+      usage += flags[i].arg;
+    }
+  }
+  return usage;
+}
+
+}  // namespace detail
+
+/// Parses the common flags from the shared option table; rejects anything
+/// else (with the full flag list) so typos fail CI instead of being ignored.
 inline int parse_args(int argc, char** argv) {
+  if (argc > 0) {
+    const char* slash = std::strrchr(argv[0], '/');
+    options().bench_name = slash != nullptr ? slash + 1 : argv[0];
+  }
+  std::size_t nflags = 0;
+  const detail::FlagSpec* flags = detail::flag_table(&nflags);
   for (int i = 1; i < argc; ++i) {
     const char* a = argv[i];
-    if (std::strcmp(a, "--smoke") == 0) {
-      options().smoke = true;
-    } else if (std::strncmp(a, "--trace=", 8) == 0 && a[8] != '\0') {
-      options().trace_file = a + 8;
-    } else if (std::strncmp(a, "--mtbf=", 7) == 0 && a[7] != '\0') {
-      options().mtbf = std::strtod(a + 7, nullptr);
-      if (options().mtbf <= 0) {
-        std::fprintf(stderr, "%s: --mtbf needs a positive time in seconds\n", argv[0]);
-        return 1;
+    const detail::FlagSpec* match = nullptr;
+    const char* value = nullptr;
+    for (std::size_t f = 0; f < nflags; ++f) {
+      const std::size_t len = std::strlen(flags[f].name);
+      if (flags[f].arg == nullptr) {
+        if (std::strcmp(a, flags[f].name) == 0) {
+          match = &flags[f];
+          break;
+        }
+      } else if (std::strncmp(a, flags[f].name, len) == 0 && a[len] == '=' &&
+                 a[len + 1] != '\0') {
+        match = &flags[f];
+        value = a + len + 1;
+        break;
       }
-    } else if (std::strncmp(a, "--failures=", 11) == 0 && a[11] != '\0') {
-      options().failures = std::atoi(a + 11);
-      if (options().failures <= 0) {
-        std::fprintf(stderr, "%s: --failures needs a positive count\n", argv[0]);
-        return 1;
-      }
-    } else if (std::strncmp(a, "--fault-seed=", 13) == 0 && a[13] != '\0') {
-      options().fault_seed = std::strtoull(a + 13, nullptr, 10);
-    } else {
-      std::fprintf(stderr,
-                   "%s: unknown argument '%s' (expected --smoke, --trace=FILE, "
-                   "--mtbf=SEC, --failures=N, or --fault-seed=N)\n",
-                   argv[0], a);
+    }
+    if (match == nullptr) {
+      std::fprintf(stderr, "%s: unknown argument '%s' (expected %s)\n", argv[0], a,
+                   detail::flag_usage().c_str());
+      return 1;
+    }
+    if (!match->parse(value)) {
+      std::fprintf(stderr, "%s: %s %s\n", argv[0], match->name,
+                   match->error != nullptr ? match->error : "has an invalid value");
       return 1;
     }
   }
@@ -110,6 +187,44 @@ inline int parse_args(int argc, char** argv) {
 }
 
 inline bool smoke() { return options().smoke; }
+
+// ---- paper-style table output (captured for the stats JSON) ------------------
+
+inline void header(const std::string& fig, const std::string& title) {
+  std::printf("\n== %s: %s ==\n", fig.c_str(), title.c_str());
+  series().pending_title = fig + ": " + title;
+}
+
+inline void columns(const std::vector<std::string>& names) {
+  for (const auto& n : names) std::printf("%16s", n.c_str());
+  std::printf("\n");
+  stats::SeriesTable t;
+  t.title = series().pending_title;
+  t.columns = names;
+  series().tables.push_back(std::move(t));
+}
+
+inline void row(const std::vector<double>& values) {
+  for (double v : values) std::printf("%16.6g", v);
+  std::printf("\n");
+  if (series().tables.empty()) {
+    stats::SeriesTable t;
+    t.title = series().pending_title;
+    series().tables.push_back(std::move(t));
+  }
+  series().tables.back().rows.push_back(values);
+}
+
+inline void note(const std::string& s) {
+  std::printf("   %s\n", s.c_str());
+  series().notes.push_back(s);
+}
+
+/// Runs the machine to completion and returns the makespan in virtual seconds.
+inline double run_to_completion(sim::Machine& m) {
+  m.run();
+  return m.max_pe_clock();
+}
 
 /// Full series normally; the first `smoke_keep` entries under --smoke.
 inline std::vector<int> pe_series(std::vector<int> full, std::size_t smoke_keep = 2) {
@@ -122,19 +237,27 @@ inline int cap_steps(int steps, int smoke_steps = 2) {
   return smoke() ? std::min(steps, smoke_steps) : steps;
 }
 
+// ---- tracing / stats ---------------------------------------------------------
+
 /// The shared trace log (one per bench process; each traced machine resets
-/// it, so the written file holds the last traced run).
+/// it, so the written files describe the last traced run).
 inline trace::Tracer& shared_tracer() {
   static trace::Tracer t;
   return t;
 }
 
-/// Attaches the shared tracer to `m` when --trace=FILE was given.  Call right
-/// after constructing each machine.
+/// True when any tracer-backed output (--trace or --stats) was requested.
+inline bool tracing_requested() {
+  return !options().trace_file.empty() || !options().stats_file.empty();
+}
+
+/// Attaches the shared tracer to `m` when --trace=FILE or --stats=FILE was
+/// given.  Call right after constructing each machine.
 inline void attach_trace(sim::Machine& m) {
-  if (options().trace_file.empty()) return;
+  if (!tracing_requested()) return;
   shared_tracer().clear();
   m.set_tracer(&shared_tracer());
+  options().traced_npes = m.npes();
 }
 
 /// Labels entry spans with registered names (Registry::name_entry).
@@ -147,20 +270,38 @@ inline trace::EntryLabeler entry_labeler() {
   };
 }
 
-/// Writes the accumulated trace (if any) and returns the process exit code.
-/// Call as the last statement of main: `return bench::finish();`
+/// Writes the accumulated trace / stats outputs (if any) and returns the
+/// process exit code.  Call as the last statement of main:
+/// `return bench::finish();`
 inline int finish() {
-  if (options().trace_file.empty()) return 0;
   const trace::Tracer& t = shared_tracer();
-  if (!trace::write_chrome_trace_file(t, options().trace_file, entry_labeler())) {
-    std::fprintf(stderr, "failed to write trace to %s\n", options().trace_file.c_str());
-    return 1;
+  if (!options().trace_file.empty()) {
+    if (!trace::write_chrome_trace_file(t, options().trace_file, entry_labeler())) {
+      std::fprintf(stderr, "failed to write trace to %s\n", options().trace_file.c_str());
+      return 1;
+    }
+    std::printf("   trace: %zu events -> %s (open in chrome://tracing)\n", t.size(),
+                options().trace_file.c_str());
   }
-  std::printf("   trace: %zu events -> %s (open in chrome://tracing)\n", t.size(),
-              options().trace_file.c_str());
-  if (t.dropped() > 0)
+  if (tracing_requested() && t.dropped() > 0)
     std::printf("   trace: WARNING %llu events dropped at the buffer cap\n",
                 static_cast<unsigned long long>(t.dropped()));
+  if (!options().stats_file.empty()) {
+    const stats::Report report = stats::collect(t, options().traced_npes);
+    stats::ExportMeta meta;
+    meta.bench = options().bench_name;
+    meta.smoke = options().smoke;
+    meta.series = series().tables;
+    meta.notes = series().notes;
+    meta.label = entry_labeler();
+    if (!stats::write_json_file(report, meta, options().stats_file)) {
+      std::fprintf(stderr, "failed to write stats to %s\n", options().stats_file.c_str());
+      return 1;
+    }
+    std::printf("   stats: %d PEs, %zu entry rows, %zu comm cells -> %s\n",
+                report.npes, report.entries.size(), report.comm.size(),
+                options().stats_file.c_str());
+  }
   return 0;
 }
 

@@ -1,0 +1,221 @@
+#!/usr/bin/env python3
+"""Validates a charmlike-stats JSON file (the --stats=FILE bench output).
+
+Checks three layers and exits nonzero on the first violation:
+  1. schema identity: name "charmlike-stats", version 1, and the exact
+     top-level key order the exporter emits (so accidental schema drift
+     fails CI instead of silently breaking downstream consumers);
+  2. shape: every section has the documented keys with sane types;
+  3. accounting invariants: per-PE busy/exec sums match totals, comm-matrix
+     row sums match per-PE send counters, histogram totals match the send
+     count, phases tile [0, makespan], and critical path <= makespan.
+
+Stdlib only; usage: check_stats_schema.py FILE...
+"""
+import json
+import math
+import sys
+
+SCHEMA = "charmlike-stats"
+VERSION = 1
+
+TOP_KEYS = [
+    "schema", "version", "bench", "smoke", "npes", "makespan", "events",
+    "series", "notes", "totals", "pes", "entries", "comm", "imbalance",
+    "phases", "critical_path",
+]
+PE_KEYS = [
+    "pe", "busy", "exec", "overhead", "idle", "execs", "queue_wait",
+    "msgs_sent", "bytes_sent", "msgs_recv", "bytes_recv",
+]
+ENTRY_KEYS = [
+    "pe", "col", "ep", "name", "calls", "busy", "exec", "overhead",
+    "grain_min", "grain_avg", "grain_max",
+]
+COMM_KEYS = [
+    "sends", "bytes", "hops", "latency_total", "latency_max",
+    "queue_wait_total", "size_log2", "hops_log2", "entry_ns_log2", "cells",
+]
+IMBALANCE_KEYS = ["busy_max", "busy_avg", "sigma", "ratio"]
+PHASE_KEYS = ["name", "t0", "t1", "busy", "exec", "idle", "imbalance"]
+CP_KEYS = ["length", "work", "comm", "nodes", "edges_matched", "makespan_ratio"]
+
+
+class Fail(Exception):
+    pass
+
+
+def expect(cond, msg):
+    if not cond:
+        raise Fail(msg)
+
+
+def expect_keys(obj, keys, where):
+    expect(isinstance(obj, dict), f"{where}: expected an object")
+    expect(list(obj.keys()) == keys,
+           f"{where}: key drift; expected {keys}, got {list(obj.keys())}")
+
+
+def expect_num(obj, key, where, minimum=None):
+    v = obj.get(key)
+    expect(isinstance(v, (int, float)) and not isinstance(v, bool),
+           f"{where}.{key}: expected a number, got {v!r}")
+    if minimum is not None:
+        expect(v >= minimum, f"{where}.{key}: {v} < {minimum}")
+    return v
+
+
+def close(a, b, tol=1e-9):
+    return math.isclose(a, b, rel_tol=tol, abs_tol=tol)
+
+
+def check(path):
+    with open(path, "rb") as f:
+        raw = f.read()
+    doc = json.loads(raw, object_pairs_hook=lambda ps: dict_ordered(ps, path))
+
+    expect_keys(doc, TOP_KEYS, "top level")
+    expect(doc["schema"] == SCHEMA, f"schema: {doc['schema']!r} != {SCHEMA!r}")
+    expect(doc["version"] == VERSION, f"version: {doc['version']} != {VERSION}")
+    expect(isinstance(doc["bench"], str) and doc["bench"], "bench: empty")
+    expect(isinstance(doc["smoke"], bool), "smoke: expected a bool")
+    npes = expect_num(doc, "npes", "top level", minimum=1)
+    makespan = expect_num(doc, "makespan", "top level", minimum=0)
+    expect_num(doc, "events", "top level", minimum=1)
+
+    for i, table in enumerate(doc["series"]):
+        where = f"series[{i}]"
+        expect_keys(table, ["title", "columns", "rows"], where)
+        ncols = len(table["columns"])
+        for j, row in enumerate(table["rows"]):
+            expect(isinstance(row, list) and
+                   all(isinstance(v, (int, float)) for v in row),
+                   f"{where}.rows[{j}]: expected a number row")
+            if ncols:
+                expect(len(row) == ncols,
+                       f"{where}.rows[{j}]: {len(row)} values for {ncols} columns")
+    expect(all(isinstance(n, str) for n in doc["notes"]), "notes: non-string entry")
+
+    expect_keys(doc["totals"], ["busy", "exec", "overhead", "execs"], "totals")
+    t_busy = expect_num(doc["totals"], "busy", "totals", minimum=0)
+    t_exec = expect_num(doc["totals"], "exec", "totals", minimum=0)
+    t_execs = expect_num(doc["totals"], "execs", "totals", minimum=1)
+
+    pes = doc["pes"]
+    expect(len(pes) == npes, f"pes: {len(pes)} rows for npes={npes}")
+    sum_busy = sum_exec = sum_execs = 0
+    sent = {}
+    for i, p in enumerate(pes):
+        where = f"pes[{i}]"
+        expect_keys(p, PE_KEYS, where)
+        expect(p["pe"] == i, f"{where}: out of order (pe={p['pe']})")
+        sum_busy += expect_num(p, "busy", where, minimum=0)
+        sum_exec += expect_num(p, "exec", where, minimum=0)
+        sum_execs += expect_num(p, "execs", where, minimum=0)
+        expect(close(p["overhead"], p["exec"] - p["busy"]),
+               f"{where}: overhead != exec - busy")
+        sent[i] = (expect_num(p, "msgs_sent", where, minimum=0),
+                   expect_num(p, "bytes_sent", where, minimum=0))
+    expect(close(sum_busy, t_busy), f"sum(pes.busy)={sum_busy} != totals.busy={t_busy}")
+    expect(close(sum_exec, t_exec), f"sum(pes.exec)={sum_exec} != totals.exec={t_exec}")
+    expect(sum_execs == t_execs, f"sum(pes.execs)={sum_execs} != totals.execs={t_execs}")
+
+    entry_busy = entry_exec = 0
+    for i, e in enumerate(doc["entries"]):
+        where = f"entries[{i}]"
+        expect_keys(e, ENTRY_KEYS, where)
+        expect(isinstance(e["name"], str) and e["name"], f"{where}.name: empty")
+        entry_busy += expect_num(e, "busy", where, minimum=0)
+        entry_exec += expect_num(e, "exec", where, minimum=0)
+        expect(e["grain_min"] <= e["grain_max"] + 1e-12,
+               f"{where}: grain_min > grain_max")
+    expect(close(entry_busy, t_busy),
+           f"sum(entries.busy)={entry_busy} != totals.busy={t_busy}")
+    expect(close(entry_exec, t_exec),
+           f"sum(entries.exec)={entry_exec} != totals.exec={t_exec}")
+
+    comm = doc["comm"]
+    expect_keys(comm, COMM_KEYS, "comm")
+    sends = expect_num(comm, "sends", "comm", minimum=0)
+    for hist in ("size_log2", "hops_log2"):
+        expect(sum(comm[hist]) == sends,
+               f"comm.{hist}: bucket total {sum(comm[hist])} != sends {sends}")
+    row_msgs = {i: 0 for i in range(int(npes))}
+    row_bytes = {i: 0 for i in range(int(npes))}
+    cell_bytes = 0
+    for i, cell in enumerate(comm["cells"]):
+        expect(isinstance(cell, list) and len(cell) == 4,
+               f"comm.cells[{i}]: expected [src, dst, msgs, bytes]")
+        src, dst, msgs, nbytes = cell
+        expect(0 <= src < npes and 0 <= dst < npes,
+               f"comm.cells[{i}]: PE out of range")
+        row_msgs[src] += msgs
+        row_bytes[src] += nbytes
+        cell_bytes += nbytes
+    for i in range(int(npes)):
+        expect(row_msgs[i] == sent[i][0],
+               f"comm row {i}: {row_msgs[i]} msgs != pes[{i}].msgs_sent {sent[i][0]}")
+        expect(row_bytes[i] == sent[i][1],
+               f"comm row {i}: {row_bytes[i]} bytes != pes[{i}].bytes_sent {sent[i][1]}")
+    expect(cell_bytes == comm["bytes"],
+           f"sum(cells.bytes)={cell_bytes} != comm.bytes={comm['bytes']}")
+
+    expect_keys(doc["imbalance"], IMBALANCE_KEYS, "imbalance")
+    phases = doc["phases"]
+    expect(len(phases) >= 1, "phases: empty")
+    for i, ph in enumerate(phases):
+        where = f"phases[{i}]"
+        expect_keys(ph, PHASE_KEYS, where)
+        expect_keys(ph["imbalance"], IMBALANCE_KEYS, f"{where}.imbalance")
+        if i:
+            expect(close(ph["t0"], phases[i - 1]["t1"]),
+                   f"{where}: gap after previous phase")
+    expect(close(phases[0]["t0"], 0), "phases[0].t0 != 0")
+    expect(close(phases[-1]["t1"], makespan), "phases[-1].t1 != makespan")
+
+    cp = doc["critical_path"]
+    expect_keys(cp, CP_KEYS, "critical_path")
+    length = expect_num(cp, "length", "critical_path", minimum=0)
+    expect(length <= makespan + 1e-9,
+           f"critical_path.length {length} > makespan {makespan}")
+    expect(close(cp["work"] + cp["comm"], length),
+           "critical_path: work + comm != length")
+    if makespan > 0:
+        expect(close(cp["makespan_ratio"], length / makespan, tol=1e-6),
+               "critical_path.makespan_ratio inconsistent")
+
+    # Byte-level canonical form: re-encoding must not be *shorter* than the
+    # original (catches accidental pretty-printing / trailing whitespace).
+    expect(raw.endswith(b"}\n"), "file must end with '}' + newline")
+    expect(b"\n" not in raw[:-1], "body must be a single line")
+
+
+def dict_ordered(pairs, path):
+    d = {}
+    for k, v in pairs:
+        if k in d:
+            raise Fail(f"duplicate key {k!r}")
+        d[k] = v
+    return d
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    bad = 0
+    for path in argv[1:]:
+        try:
+            check(path)
+            print(f"{path}: OK")
+        except Fail as e:
+            print(f"{path}: FAIL: {e}", file=sys.stderr)
+            bad += 1
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"{path}: FAIL: {e}", file=sys.stderr)
+            bad += 1
+    return 1 if bad else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

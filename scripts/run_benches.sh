@@ -8,22 +8,32 @@
 # sweeps, few steps) — the CI bench-smoke gate.  Any bench failure makes the
 # script exit nonzero.  micro_* binaries use google-benchmark's own flag
 # parsing, so in smoke mode they get a minimal-time run instead of --smoke.
+#
+# --stats[=DIR] additionally passes --stats=DIR/BENCH_<name>.json to every
+# figure/ablation binary (default DIR: bench_stats), producing the
+# machine-readable analytics record EXPERIMENTS.md points at.  Validate with
+# scripts/check_stats_schema.py; inspect or diff with build/tools/statsview.
 set -u
 cd "$(dirname "$0")/.."
 
 smoke=0
+stats_dir=""
 for arg in "$@"; do
   case "$arg" in
     --smoke) smoke=1 ;;
-    *) echo "usage: $0 [--smoke]" >&2; exit 2 ;;
+    --stats) stats_dir="bench_stats" ;;
+    --stats=*) stats_dir="${arg#--stats=}" ;;
+    *) echo "usage: $0 [--smoke] [--stats[=DIR]]" >&2; exit 2 ;;
   esac
 done
+[ -n "$stats_dir" ] && mkdir -p "$stats_dir"
 
 failures=0
 for b in build/bench/fig* build/bench/ablation_* build/bench/micro_*; do
   [ -x "$b" ] || continue
   echo "### $b"
-  case "$(basename "$b")" in
+  name="$(basename "$b")"
+  case "$name" in
     micro_*)
       if [ "$smoke" -eq 1 ]; then
         args=(--benchmark_min_time=0.01)
@@ -32,11 +42,9 @@ for b in build/bench/fig* build/bench/ablation_* build/bench/micro_*; do
       fi
       ;;
     *)
-      if [ "$smoke" -eq 1 ]; then
-        args=(--smoke)
-      else
-        args=()
-      fi
+      args=()
+      [ "$smoke" -eq 1 ] && args+=(--smoke)
+      [ -n "$stats_dir" ] && args+=(--stats="$stats_dir/BENCH_${name}.json")
       ;;
   esac
   if ! "$b" ${args[@]+"${args[@]}"}; then

@@ -197,10 +197,20 @@ bool Machine::dispose(int dead_pe, Time at, int priority, std::size_t bytes,
   // dead PE, so upper-layer message accounting (quiescence counting) stays
   // balanced.  Charged work is discarded; no clock advances.  Upper layers
   // see pe_failed() and suppress application effects.
+  //
+  // Trace recording is suppressed for the quarantined execution: nothing it
+  // does is real work (its charges are discarded and its sends carry no
+  // application effect), so letting it log events would make fault-mode
+  // summaries overcount busy/exec time and message traffic on dead PEs.
+  // Only recording is disabled — the handler still runs identically, so the
+  // simulation stays bit-identical with tracing on or off.
   ++drops_;
   const ExecCtx saved = ctx_;
   ctx_ = ExecCtx{dead_pe, std::max(at, time_), 0.0};
+  const bool was_recording = tracer_ != nullptr && tracer_->enabled();
+  if (was_recording) tracer_->set_enabled(false);
   fn();
+  if (was_recording) tracer_->set_enabled(true);
   ctx_ = saved;
   return false;
 }

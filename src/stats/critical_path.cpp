@@ -1,0 +1,132 @@
+#include "stats/critical_path.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <utility>
+
+namespace stats {
+
+namespace {
+
+// Path metrics accumulated *up to the start* of an exec span.
+struct PathPrefix {
+  double length = 0;  ///< work + comm up to the span's first instruction
+  double work = 0;
+  double comm = 0;
+  std::uint64_t nodes = 0;  ///< predecessor exec spans on the chain
+};
+
+struct ExecNode {
+  double begin = 0;
+  double end = 0;
+  PathPrefix at_start;
+};
+
+// Doubles are matched bit-exactly: the arrival time stored in a kSend event
+// and in the corresponding kRecv event are the same double (both copied from
+// the arrival event's timestamp), so bit-pattern equality is the right key.
+std::uint64_t bits(double v) {
+  std::uint64_t u;
+  static_assert(sizeof(u) == sizeof(v));
+  std::memcpy(&u, &v, sizeof(u));
+  return u;
+}
+
+struct SendInfo {
+  int src = -1;
+  double depart = 0;
+  double latency = 0;
+};
+
+}  // namespace
+
+CriticalPathStats critical_path(const std::vector<trace::Event>& events, int npes) {
+  CriticalPathStats cp;
+  if (npes <= 0) return cp;
+
+  // Per-PE exec spans in arrival order (== begin-time order: the machine is
+  // sequential and logs each exec when it finishes dispatching it).
+  std::vector<std::vector<ExecNode>> execs(static_cast<std::size_t>(npes));
+  // In-flight sends keyed by (destination, arrival-time bits).  A deque keeps
+  // simultaneous same-destination arrivals FIFO, matching delivery order.
+  std::map<std::pair<int, std::uint64_t>, std::deque<SendInfo>> inflight;
+  // Prefix carried from the kRecv that precedes the next kExec on each PE.
+  std::vector<PathPrefix> pending(static_cast<std::size_t>(npes));
+  std::vector<char> has_pending(static_cast<std::size_t>(npes), 0);
+
+  double best_end = 0;
+  auto consider = [&](const ExecNode& n) {
+    const double len = n.at_start.length + (n.end - n.begin);
+    if (len > best_end) {
+      best_end = len;
+      cp.length = len;
+      cp.work = n.at_start.work + (n.end - n.begin);
+      cp.comm = n.at_start.comm;
+      cp.nodes = n.at_start.nodes + 1;
+    }
+  };
+
+  for (const trace::Event& e : events) {
+    switch (e.kind) {
+      case trace::Kind::kSend: {
+        if (e.a < 0 || e.a >= npes) break;
+        inflight[{e.a, bits(e.end)}].push_back(SendInfo{e.pe, e.begin, e.end - e.begin});
+        break;
+      }
+      case trace::Kind::kRecv: {
+        if (e.pe < 0 || e.pe >= npes) break;
+        const auto it = inflight.find({e.pe, bits(e.begin)});
+        if (it == inflight.end() || it->second.empty()) break;  // post/timer: a DAG root
+        const SendInfo m = it->second.front();
+        it->second.pop_front();
+        if (it->second.empty()) inflight.erase(it);
+        if (m.src < 0 || m.src >= npes) break;
+        // The sender's exec span containing the departure is already logged
+        // (its kExec event-time precedes this delivery's).
+        const auto& src_execs = execs[static_cast<std::size_t>(m.src)];
+        auto pos = std::upper_bound(
+            src_execs.begin(), src_execs.end(), m.depart,
+            [](double t, const ExecNode& n) { return t < n.begin; });
+        if (pos == src_execs.begin()) break;
+        const ExecNode& sender = *std::prev(pos);
+        if (m.depart > sender.end + 1e-18) break;  // sent outside any handler
+        ++cp.edges_matched;
+        PathPrefix p;
+        const double into_sender = m.depart - sender.begin;
+        p.work = sender.at_start.work + into_sender;
+        p.comm = sender.at_start.comm + m.latency;
+        p.length = sender.at_start.length + into_sender + m.latency;
+        p.nodes = sender.at_start.nodes + 1;
+        // Keep the longer chain if several deliveries race for the same exec
+        // (cannot happen today — one kRecv per kExec — but cheap to be safe).
+        const std::size_t pe = static_cast<std::size_t>(e.pe);
+        if (!has_pending[pe] || p.length > pending[pe].length) pending[pe] = p;
+        has_pending[pe] = 1;
+        break;
+      }
+      case trace::Kind::kExec: {
+        if (e.pe < 0 || e.pe >= npes) break;
+        const std::size_t pe = static_cast<std::size_t>(e.pe);
+        ExecNode n;
+        n.begin = e.begin;
+        n.end = e.end;
+        if (has_pending[pe]) {
+          n.at_start = pending[pe];
+          has_pending[pe] = 0;
+        }
+        consider(n);
+        execs[pe].push_back(n);
+        break;
+      }
+      case trace::Kind::kEntry:
+      case trace::Kind::kIdle:
+      case trace::Kind::kPhase:
+        break;
+    }
+  }
+  return cp;
+}
+
+}  // namespace stats

@@ -1,0 +1,19 @@
+#pragma once
+// Longest-path estimator over the send→execute event DAG (see report.hpp for
+// the definition).  Exposed separately from collect() so tests and tools can
+// run it on synthetic event streams.
+
+#include <vector>
+
+#include "stats/report.hpp"
+#include "trace/trace.hpp"
+
+namespace stats {
+
+/// Computes the critical path from a trace log.  Relies only on recording
+/// order guarantees the Machine provides: each handler execution logs
+/// kRecv, then its kSend/kEntry events, then its own kExec span, and exec
+/// spans appear in global begin-time order.
+CriticalPathStats critical_path(const std::vector<trace::Event>& events, int npes);
+
+}  // namespace stats

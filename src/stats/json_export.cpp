@@ -1,0 +1,311 @@
+#include "stats/json_export.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+#include "stats/json.hpp"
+
+namespace stats {
+
+namespace {
+
+// Tiny append-only writer: the schema is emitted in one fixed order, so all
+// we need is comma management and canonical scalars.
+class Writer {
+ public:
+  explicit Writer(std::string& out) : out_(out) {}
+
+  void raw(const char* s) { out_ += s; }
+  void key(const char* k) {
+    comma();
+    out_.push_back('"');
+    out_ += k;
+    out_ += "\":";
+    fresh_ = true;
+  }
+  void open_obj() { scope('{'); }
+  void close_obj() { close('}'); }
+  void open_arr() { scope('['); }
+  void close_arr() { close(']'); }
+  void num(double v) {
+    comma();
+    out_ += json::format_double(v);
+  }
+  void num(std::uint64_t v) {
+    comma();
+    out_ += std::to_string(v);
+  }
+  void num(int v) {
+    comma();
+    out_ += std::to_string(v);
+  }
+  void str(const std::string& s) {
+    comma();
+    out_.push_back('"');
+    out_ += json::escape(s);
+    out_.push_back('"');
+  }
+  void boolean(bool b) {
+    comma();
+    out_ += b ? "true" : "false";
+  }
+
+ private:
+  void comma() {
+    if (!fresh_) out_.push_back(',');
+    fresh_ = false;
+  }
+  void scope(char c) {
+    comma();
+    out_.push_back(c);
+    fresh_ = true;
+  }
+  void close(char c) {
+    out_.push_back(c);
+    fresh_ = false;
+  }
+
+  std::string& out_;
+  bool fresh_ = true;
+};
+
+void write_imbalance(Writer& w, const ImbalanceStats& im) {
+  w.open_obj();
+  w.key("busy_max");
+  w.num(im.busy_max);
+  w.key("busy_avg");
+  w.num(im.busy_avg);
+  w.key("sigma");
+  w.num(im.busy_sigma);
+  w.key("ratio");
+  w.num(im.ratio);
+  w.close_obj();
+}
+
+void write_hist(Writer& w, const Histogram& h) {
+  w.open_arr();
+  for (std::uint64_t b : h.buckets) w.num(b);
+  w.close_arr();
+}
+
+std::string entry_label(const ExportMeta& meta, int col, int ep) {
+  if (col < 0) return "runtime";
+  if (meta.label) {
+    const std::string s = meta.label(col, ep);
+    if (!s.empty()) return s;
+  }
+  if (ep < 0) return "col" + std::to_string(col) + ".apply";
+  return "col" + std::to_string(col) + ".ep" + std::to_string(ep);
+}
+
+}  // namespace
+
+std::string to_json(const Report& r, const ExportMeta& meta) {
+  std::string out;
+  out.reserve(1 << 16);
+  Writer w(out);
+
+  w.open_obj();
+  w.key("schema");
+  w.str(kSchemaName);
+  w.key("version");
+  w.num(kSchemaVersion);
+  w.key("bench");
+  w.str(meta.bench);
+  w.key("smoke");
+  w.boolean(meta.smoke);
+  w.key("npes");
+  w.num(r.npes);
+  w.key("makespan");
+  w.num(r.makespan);
+  w.key("events");
+  w.num(r.events);
+
+  w.key("series");
+  w.open_arr();
+  for (const SeriesTable& t : meta.series) {
+    w.open_obj();
+    w.key("title");
+    w.str(t.title);
+    w.key("columns");
+    w.open_arr();
+    for (const std::string& c : t.columns) w.str(c);
+    w.close_arr();
+    w.key("rows");
+    w.open_arr();
+    for (const auto& row : t.rows) {
+      w.open_arr();
+      for (double v : row) w.num(v);
+      w.close_arr();
+    }
+    w.close_arr();
+    w.close_obj();
+  }
+  w.close_arr();
+
+  w.key("notes");
+  w.open_arr();
+  for (const std::string& n : meta.notes) w.str(n);
+  w.close_arr();
+
+  w.key("totals");
+  w.open_obj();
+  w.key("busy");
+  w.num(r.total_busy());
+  w.key("exec");
+  w.num(r.total_exec());
+  w.key("overhead");
+  w.num(r.total_exec() - r.total_busy());
+  w.key("execs");
+  w.num(r.total_execs());
+  w.close_obj();
+
+  w.key("pes");
+  w.open_arr();
+  for (int pe = 0; pe < r.npes; ++pe) {
+    const PeUsage& p = r.pes[static_cast<std::size_t>(pe)];
+    w.open_obj();
+    w.key("pe");
+    w.num(pe);
+    w.key("busy");
+    w.num(p.busy);
+    w.key("exec");
+    w.num(p.exec);
+    w.key("overhead");
+    w.num(p.overhead());
+    w.key("idle");
+    w.num(p.idle);
+    w.key("execs");
+    w.num(p.execs);
+    w.key("queue_wait");
+    w.num(p.queue_wait);
+    w.key("msgs_sent");
+    w.num(p.msgs_sent);
+    w.key("bytes_sent");
+    w.num(p.bytes_sent);
+    w.key("msgs_recv");
+    w.num(p.msgs_recv);
+    w.key("bytes_recv");
+    w.num(p.bytes_recv);
+    w.close_obj();
+  }
+  w.close_arr();
+
+  w.key("entries");
+  w.open_arr();
+  for (const EntryUsage& u : r.entries) {
+    w.open_obj();
+    w.key("pe");
+    w.num(u.pe);
+    w.key("col");
+    w.num(u.col);
+    w.key("ep");
+    w.num(u.ep);
+    w.key("name");
+    w.str(entry_label(meta, u.col, u.ep));
+    w.key("calls");
+    w.num(u.calls);
+    w.key("busy");
+    w.num(u.busy);
+    w.key("exec");
+    w.num(u.exec);
+    w.key("overhead");
+    w.num(u.overhead());
+    w.key("grain_min");
+    w.num(u.grain_min);
+    w.key("grain_avg");
+    w.num(u.grain_avg());
+    w.key("grain_max");
+    w.num(u.grain_max);
+    w.close_obj();
+  }
+  w.close_arr();
+
+  w.key("comm");
+  w.open_obj();
+  w.key("sends");
+  w.num(r.messages.sends);
+  w.key("bytes");
+  w.num(r.messages.bytes);
+  w.key("hops");
+  w.num(r.messages.hops);
+  w.key("latency_total");
+  w.num(r.messages.total_latency);
+  w.key("latency_max");
+  w.num(r.messages.max_latency);
+  w.key("queue_wait_total");
+  w.num(r.messages.total_queue_wait);
+  w.key("size_log2");
+  write_hist(w, r.messages.size_log2);
+  w.key("hops_log2");
+  write_hist(w, r.messages.hops_log2);
+  w.key("entry_ns_log2");
+  write_hist(w, r.entry_ns_log2);
+  w.key("cells");
+  w.open_arr();
+  for (const CommCell& c : r.comm) {
+    w.open_arr();
+    w.num(c.src);
+    w.num(c.dst);
+    w.num(c.msgs);
+    w.num(c.bytes);
+    w.close_arr();
+  }
+  w.close_arr();
+  w.close_obj();
+
+  w.key("imbalance");
+  write_imbalance(w, r.imbalance);
+
+  w.key("phases");
+  w.open_arr();
+  for (const PhaseStats& ph : r.phases) {
+    w.open_obj();
+    w.key("name");
+    w.str(ph.name);
+    w.key("t0");
+    w.num(ph.t0);
+    w.key("t1");
+    w.num(ph.t1);
+    w.key("busy");
+    w.num(ph.busy);
+    w.key("exec");
+    w.num(ph.exec);
+    w.key("idle");
+    w.num(ph.idle);
+    w.key("imbalance");
+    write_imbalance(w, ph.imbalance);
+    w.close_obj();
+  }
+  w.close_arr();
+
+  w.key("critical_path");
+  w.open_obj();
+  w.key("length");
+  w.num(r.critical_path.length);
+  w.key("work");
+  w.num(r.critical_path.work);
+  w.key("comm");
+  w.num(r.critical_path.comm);
+  w.key("nodes");
+  w.num(r.critical_path.nodes);
+  w.key("edges_matched");
+  w.num(r.critical_path.edges_matched);
+  w.key("makespan_ratio");
+  w.num(r.makespan > 0 ? r.critical_path.length / r.makespan : 0);
+  w.close_obj();
+
+  w.close_obj();
+  out.push_back('\n');
+  return out;
+}
+
+bool write_json_file(const Report& r, const ExportMeta& meta, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc | std::ios::binary);
+  if (!out) return false;
+  const std::string body = to_json(r, meta);
+  out.write(body.data(), static_cast<std::streamsize>(body.size()));
+  return out.good();
+}
+
+}  // namespace stats

@@ -1,0 +1,43 @@
+#pragma once
+// Versioned, byte-deterministic JSON export of a stats::Report — the
+// `BENCH_<fig>.json` files that record the perf trajectory.  The schema
+// (DESIGN.md §6) has a fixed key order, sorted arrays, and canonical number
+// formatting, so identical runs produce identical bytes; CI diffs them and
+// `scripts/check_stats_schema.py` validates the shape.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "stats/report.hpp"
+
+namespace stats {
+
+inline constexpr const char* kSchemaName = "charmlike-stats";
+inline constexpr int kSchemaVersion = 1;
+
+/// One printed bench table (the series the paper plots).
+struct SeriesTable {
+  std::string title;
+  std::vector<std::string> columns;
+  std::vector<std::vector<double>> rows;
+};
+
+/// Labels (col, ep) keys; ep == -1 covers broadcast_apply deliveries and
+/// col == -1 the synthetic pure-runtime key.
+using EntryLabeler = std::function<std::string(int col, int ep)>;
+
+struct ExportMeta {
+  std::string bench;  ///< binary name, e.g. "fig11_namd_profiles"
+  bool smoke = false;
+  std::vector<SeriesTable> series;
+  std::vector<std::string> notes;
+  EntryLabeler label;  ///< optional; default "col<c>.ep<e>" / "runtime"
+};
+
+std::string to_json(const Report& r, const ExportMeta& meta);
+
+/// Returns false when the file cannot be written.
+bool write_json_file(const Report& r, const ExportMeta& meta, const std::string& path);
+
+}  // namespace stats

@@ -365,4 +365,60 @@ TEST(Trace, LbStepPhaseSpansRecorded) {
   EXPECT_EQ(phases, static_cast<std::size_t>(h.rt.lb().rounds_completed()));
 }
 
+// ---- quarantine disposal stays out of the trace ------------------------------
+
+// Disposal of messages addressed to a failed PE runs their handlers in a
+// zero-cost quarantine context so side effects (completion counters, refcount
+// drops) still happen — but those executions are not real work and must not
+// appear in the trace: no exec/busy time on the dead PE, and no sends
+// attributed to it.
+
+TEST(Trace, QuarantineDisposalRecordsNothing) {
+  sim::Machine m(sim::MachineConfig{2, {}, 4});
+  trace::Tracer tracer;
+  m.set_tracer(&tracer);
+
+  m.post(1, 0.0, [&m] {
+    m.charge(1e-3);
+    m.send(0, 64, 0, [] {});
+  });
+  m.fail_pe(1);  // quarantine before delivery: the message is disposed
+  m.run();
+
+  EXPECT_EQ(m.messages_dropped(), 1u);
+  EXPECT_TRUE(tracer.enabled()) << "suppression must be restored after disposal";
+
+  const trace::Summary s = trace::summarize(tracer, 2);
+  EXPECT_EQ(s.pes[1].execs, 0u) << "disposed handler must not count as an execution";
+  EXPECT_EQ(s.pes[1].exec, 0.0);
+  EXPECT_EQ(s.pes[1].busy, 0.0);
+  EXPECT_EQ(count_kind(tracer, trace::Kind::kSend), 0u)
+      << "sends made during disposal must not be traced";
+}
+
+TEST(Trace, QuarantineDrainOfReadyQueueRecordsNothing) {
+  sim::Machine m(sim::MachineConfig{2, {}, 4});
+  trace::Tracer tracer;
+  m.set_tracer(&tracer);
+
+  // First message executes normally for 1s; the second arrives while PE 1 is
+  // still busy and is waiting in the ready queue when PE 0 kills PE 1 at 0.5,
+  // so it is disposed by the quarantine drain instead of executing.
+  m.post(1, 0.0, [&m] { m.charge(1.0); });
+  m.post(1, 0.1, [&m] {
+    m.charge(5.0);
+    m.send(0, 32, 0, [] {});
+  });
+  m.post(0, 0.5, [&m] { m.fail_pe(1); });
+  m.run();
+
+  EXPECT_EQ(m.messages_dropped(), 1u);
+  const trace::Summary s = trace::summarize(tracer, 2);
+  EXPECT_EQ(s.pes[1].execs, 1u) << "only the pre-failure handler really ran";
+  // 1s of charged work plus per-delivery scheduling overhead — and none of
+  // the disposed handler's 5s.
+  EXPECT_NEAR(s.pes[1].exec, 1.0, 1e-4);
+  EXPECT_EQ(count_kind(tracer, trace::Kind::kSend), 0u);
+}
+
 }  // namespace

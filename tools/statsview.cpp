@@ -1,0 +1,269 @@
+// statsview: human-readable reports and A-vs-B regression diffs over the
+// `BENCH_<fig>.json` analytics files the benches emit with --stats=FILE
+// (schema "charmlike-stats", DESIGN.md §6).
+//
+//   statsview FILE                 report: top entry methods, imbalance,
+//                                  comm-matrix hotspots, critical path
+//   statsview BASELINE CANDIDATE   diff the two runs; exit code 2 when the
+//                                  candidate's makespan regresses by more
+//                                  than the threshold
+//   --top=N          rows per ranking (default 10)
+//   --threshold=PCT  makespan regression gate for diff mode (default 5)
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "stats/json.hpp"
+
+namespace {
+
+using stats::json::Value;
+
+struct EntryRow {
+  int col = -1;
+  int ep = -1;
+  std::string name;
+  std::uint64_t calls = 0;
+  double busy = 0;
+  double exec = 0;
+  double grain_max = 0;
+};
+
+struct Doc {
+  std::string path;
+  Value root;
+  double makespan = 0;
+  double busy = 0;
+  double exec = 0;
+  int npes = 0;
+  std::vector<EntryRow> entries;  ///< aggregated over PEs, sorted by busy desc
+};
+
+bool load(const std::string& path, Doc& doc) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "statsview: cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  std::string err;
+  if (!stats::json::parse(ss.str(), doc.root, &err)) {
+    std::fprintf(stderr, "statsview: %s: parse error: %s\n", path.c_str(), err.c_str());
+    return false;
+  }
+  if (doc.root.str("schema") != "charmlike-stats") {
+    std::fprintf(stderr, "statsview: %s: not a charmlike-stats file\n", path.c_str());
+    return false;
+  }
+  doc.path = path;
+  doc.makespan = doc.root.num("makespan");
+  doc.npes = static_cast<int>(doc.root.num("npes"));
+  if (const Value* totals = doc.root.find("totals")) {
+    doc.busy = totals->num("busy");
+    doc.exec = totals->num("exec");
+  }
+  // Aggregate the per-(PE, col, ep) usage rows over PEs.
+  std::map<std::pair<int, int>, EntryRow> agg;
+  if (const Value* entries = doc.root.find("entries"); entries != nullptr && entries->is_array()) {
+    for (const Value& e : entries->array) {
+      const int col = static_cast<int>(e.num("col", -1));
+      const int ep = static_cast<int>(e.num("ep", -1));
+      EntryRow& r = agg[{col, ep}];
+      r.col = col;
+      r.ep = ep;
+      if (r.name.empty()) r.name = e.str("name");
+      r.calls += static_cast<std::uint64_t>(e.num("calls"));
+      r.busy += e.num("busy");
+      r.exec += e.num("exec");
+      r.grain_max = std::max(r.grain_max, e.num("grain_max"));
+    }
+  }
+  doc.entries.reserve(agg.size());
+  for (auto& [key, row] : agg) doc.entries.push_back(std::move(row));
+  std::sort(doc.entries.begin(), doc.entries.end(), [](const EntryRow& a, const EntryRow& b) {
+    if (a.busy != b.busy) return a.busy > b.busy;
+    return std::pair(a.col, a.ep) < std::pair(b.col, b.ep);
+  });
+  return true;
+}
+
+double pct(double part, double whole) { return whole > 0 ? 100.0 * part / whole : 0; }
+
+void print_report(const Doc& d, int top) {
+  std::printf("== %s (%s%s) ==\n", d.root.str("bench", "?").c_str(), d.path.c_str(),
+              d.root.find("smoke") != nullptr && d.root.find("smoke")->boolean ? ", smoke" : "");
+  const double span_work = d.makespan * d.npes;
+  std::printf("PEs %d | makespan %.6g s | busy %.6g s (%.1f%%) | overhead %.6g s (%.1f%%) | idle %.1f%%\n",
+              d.npes, d.makespan, d.busy, pct(d.busy, span_work), d.exec - d.busy,
+              pct(d.exec - d.busy, span_work), pct(span_work - d.exec, span_work));
+
+  std::printf("\ntop %d entry methods by busy time:\n", top);
+  std::printf("%-36s %10s %12s %7s %12s %12s\n", "entry", "calls", "busy_s", "%busy",
+              "grain_avg_s", "grain_max_s");
+  int shown = 0;
+  for (const EntryRow& e : d.entries) {
+    if (shown++ >= top) break;
+    std::printf("%-36s %10llu %12.6g %6.1f%% %12.6g %12.6g\n", e.name.c_str(),
+                static_cast<unsigned long long>(e.calls), e.busy, pct(e.busy, d.busy),
+                e.calls ? e.busy / static_cast<double>(e.calls) : 0, e.grain_max);
+  }
+
+  if (const Value* im = d.root.find("imbalance")) {
+    std::printf("\nload imbalance: ratio(max/avg) %.3f | busy max %.6g avg %.6g sigma %.6g\n",
+                im->num("ratio"), im->num("busy_max"), im->num("busy_avg"), im->num("sigma"));
+  }
+  if (const Value* phases = d.root.find("phases");
+      phases != nullptr && phases->is_array() && phases->array.size() > 1) {
+    std::printf("phases (%zu):\n", phases->array.size());
+    std::printf("  %-12s %12s %12s %8s %8s\n", "opened_by", "t0_s", "len_s", "ratio", "%idle");
+    for (const Value& ph : phases->array) {
+      const double len = ph.num("t1") - ph.num("t0");
+      const Value* pim = ph.find("imbalance");
+      std::printf("  %-12s %12.6g %12.6g %8.3f %7.1f%%\n", ph.str("name").c_str(),
+                  ph.num("t0"), len, pim != nullptr ? pim->num("ratio") : 0,
+                  pct(ph.num("idle"), len * d.npes));
+    }
+  }
+
+  if (const Value* comm = d.root.find("comm")) {
+    std::printf("\ncommunication: %llu msgs, %llu bytes, mean latency %.3g s\n",
+                static_cast<unsigned long long>(comm->num("sends")),
+                static_cast<unsigned long long>(comm->num("bytes")),
+                comm->num("sends") > 0 ? comm->num("latency_total") / comm->num("sends") : 0);
+    if (const Value* cells = comm->find("cells"); cells != nullptr && cells->is_array()) {
+      std::vector<const Value*> hot;
+      hot.reserve(cells->array.size());
+      for (const Value& c : cells->array) {
+        if (c.is_array() && c.array.size() == 4) hot.push_back(&c);
+      }
+      std::sort(hot.begin(), hot.end(), [](const Value* a, const Value* b) {
+        if (a->array[3].number != b->array[3].number)
+          return a->array[3].number > b->array[3].number;
+        return std::pair(a->array[0].number, a->array[1].number) <
+               std::pair(b->array[0].number, b->array[1].number);
+      });
+      std::printf("top %d comm-matrix cells by bytes (of %zu nonzero):\n", top, hot.size());
+      std::printf("  %6s -> %-6s %10s %14s\n", "src", "dst", "msgs", "bytes");
+      for (int i = 0; i < top && i < static_cast<int>(hot.size()); ++i) {
+        const auto& a = hot[static_cast<std::size_t>(i)]->array;
+        std::printf("  %6d -> %-6d %10llu %14llu\n", static_cast<int>(a[0].number),
+                    static_cast<int>(a[1].number),
+                    static_cast<unsigned long long>(a[2].number),
+                    static_cast<unsigned long long>(a[3].number));
+      }
+    }
+  }
+
+  if (const Value* cp = d.root.find("critical_path")) {
+    std::printf("\ncritical path: %.6g s (%.1f%% of makespan) = %.6g work + %.6g comm over %llu execs\n",
+                cp->num("length"), 100.0 * cp->num("makespan_ratio"), cp->num("work"),
+                cp->num("comm"), static_cast<unsigned long long>(cp->num("nodes")));
+  }
+}
+
+void print_delta(const char* label, double a, double b) {
+  const double d = b - a;
+  std::printf("%-22s %14.6g %14.6g %+13.6g %s%.2f%%\n", label, a, b, d, d >= 0 ? "+" : "",
+              a != 0 ? 100.0 * d / a : 0.0);
+}
+
+int diff(const Doc& a, const Doc& b, int top, double threshold_pct) {
+  std::printf("== statsview diff: %s (A) vs %s (B) ==\n", a.path.c_str(), b.path.c_str());
+  std::printf("%-22s %14s %14s %13s %9s\n", "metric", "A", "B", "delta", "delta%");
+  print_delta("makespan_s", a.makespan, b.makespan);
+  print_delta("busy_s", a.busy, b.busy);
+  print_delta("overhead_s", a.exec - a.busy, b.exec - b.busy);
+  const Value* ima = a.root.find("imbalance");
+  const Value* imb = b.root.find("imbalance");
+  print_delta("imbalance_ratio", ima != nullptr ? ima->num("ratio") : 0,
+              imb != nullptr ? imb->num("ratio") : 0);
+  const Value* cpa = a.root.find("critical_path");
+  const Value* cpb = b.root.find("critical_path");
+  print_delta("critical_path_s", cpa != nullptr ? cpa->num("length") : 0,
+              cpb != nullptr ? cpb->num("length") : 0);
+
+  // Per-entry busy movers, matched by (col, ep).
+  std::map<std::pair<int, int>, std::pair<const EntryRow*, const EntryRow*>> merged;
+  for (const EntryRow& e : a.entries) merged[{e.col, e.ep}].first = &e;
+  for (const EntryRow& e : b.entries) merged[{e.col, e.ep}].second = &e;
+  struct Mover {
+    std::string name;
+    double a_busy, b_busy;
+  };
+  std::vector<Mover> movers;
+  for (const auto& [key, pair] : merged) {
+    const double ab = pair.first != nullptr ? pair.first->busy : 0;
+    const double bb = pair.second != nullptr ? pair.second->busy : 0;
+    const std::string name = pair.first != nullptr ? pair.first->name : pair.second->name;
+    movers.push_back(Mover{name, ab, bb});
+  }
+  std::sort(movers.begin(), movers.end(), [](const Mover& x, const Mover& y) {
+    const double dx = std::fabs(x.b_busy - x.a_busy), dy = std::fabs(y.b_busy - y.a_busy);
+    if (dx != dy) return dx > dy;
+    return x.name < y.name;
+  });
+  std::printf("\ntop %d entry-method busy movers:\n", top);
+  std::printf("%-36s %14s %14s %14s\n", "entry", "A_busy_s", "B_busy_s", "delta_s");
+  for (int i = 0; i < top && i < static_cast<int>(movers.size()); ++i) {
+    const Mover& m = movers[static_cast<std::size_t>(i)];
+    std::printf("%-36s %14.6g %14.6g %+14.6g\n", m.name.c_str(), m.a_busy, m.b_busy,
+                m.b_busy - m.a_busy);
+  }
+
+  const double reg_pct = a.makespan > 0 ? 100.0 * (b.makespan - a.makespan) / a.makespan : 0;
+  if (reg_pct > threshold_pct) {
+    std::printf("\nREGRESSION: makespan +%.2f%% exceeds the %.2f%% threshold\n", reg_pct,
+                threshold_pct);
+    return 2;
+  }
+  std::printf("\nOK: makespan delta %+.2f%% within the %.2f%% threshold\n", reg_pct,
+              threshold_pct);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> files;
+  int top = 10;
+  double threshold = 5.0;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strncmp(a, "--top=", 6) == 0 && a[6] != '\0') {
+      top = std::atoi(a + 6);
+      if (top <= 0) top = 10;
+    } else if (std::strncmp(a, "--threshold=", 12) == 0 && a[12] != '\0') {
+      threshold = std::strtod(a + 12, nullptr);
+    } else if (a[0] == '-') {
+      std::fprintf(stderr,
+                   "usage: statsview FILE [FILE2] [--top=N] [--threshold=PCT]\n"
+                   "  one file: report; two files: A-vs-B diff (exit 2 when B's\n"
+                   "  makespan regresses by more than PCT%%, default 5)\n");
+      return 1;
+    } else {
+      files.emplace_back(a);
+    }
+  }
+  if (files.empty() || files.size() > 2) {
+    std::fprintf(stderr, "usage: statsview FILE [FILE2] [--top=N] [--threshold=PCT]\n");
+    return 1;
+  }
+  Doc a;
+  if (!load(files[0], a)) return 1;
+  if (files.size() == 1) {
+    print_report(a, top);
+    return 0;
+  }
+  Doc b;
+  if (!load(files[1], b)) return 1;
+  return diff(a, b, top, threshold);
+}
