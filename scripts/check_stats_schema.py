@@ -1,7 +1,10 @@
 #!/usr/bin/env python3
-"""Validates a charmlike-stats JSON file (the --stats=FILE bench output).
+"""Validates the JSON files under bench_stats/ (the --stats bench outputs).
 
-Checks three layers and exits nonzero on the first violation:
+Two schemas, dispatched on the "schema" field:
+
+"charmlike-stats" (figure/ablation benches; byte-deterministic virtual-time
+analytics).  Checks three layers and exits nonzero on the first violation:
   1. schema identity: name "charmlike-stats", version 1, and the exact
      top-level key order the exporter emits (so accidental schema drift
      fails CI instead of silently breaking downstream consumers);
@@ -10,6 +13,13 @@ Checks three layers and exits nonzero on the first violation:
      row sums match per-PE send counters, histogram totals match the send
      count, phases tile [0, makespan], and critical path <= makespan.
 
+"charmlike-microbench" (scripts/micro_to_stats.py output for the host
+wall-clock micro suite).  Values are machine-dependent, so only identity and
+shape are checked: exact top-level key order, version 1, a non-empty
+benchmark list with positive iteration counts and nonnegative times.
+
+Both forms must be a single line ending '}' + newline.
+
 Stdlib only; usage: check_stats_schema.py FILE...
 """
 import json
@@ -17,7 +27,11 @@ import math
 import sys
 
 SCHEMA = "charmlike-stats"
+MICRO_SCHEMA = "charmlike-microbench"
 VERSION = 1
+
+MICRO_TOP_KEYS = ["schema", "version", "bench", "smoke", "context", "benchmarks"]
+MICRO_CTX_KEYS = ["num_cpus", "mhz_per_cpu", "build_type"]
 
 TOP_KEYS = [
     "schema", "version", "bench", "smoke", "npes", "makespan", "events",
@@ -69,10 +83,47 @@ def close(a, b, tol=1e-9):
     return math.isclose(a, b, rel_tol=tol, abs_tol=tol)
 
 
+def check_byte_form(raw):
+    # Byte-level canonical form: catches accidental pretty-printing or
+    # trailing whitespace in either exporter.
+    expect(raw.endswith(b"}\n"), "file must end with '}' + newline")
+    expect(b"\n" not in raw[:-1], "body must be a single line")
+
+
+def check_micro(doc, raw):
+    expect_keys(doc, MICRO_TOP_KEYS, "top level")
+    expect(doc["version"] == VERSION, f"version: {doc['version']} != {VERSION}")
+    expect(isinstance(doc["bench"], str) and doc["bench"], "bench: empty")
+    expect(isinstance(doc["smoke"], bool), "smoke: expected a bool")
+    expect_keys(doc["context"], MICRO_CTX_KEYS, "context")
+    benchmarks = doc["benchmarks"]
+    expect(isinstance(benchmarks, list) and benchmarks, "benchmarks: empty")
+    for i, b in enumerate(benchmarks):
+        where = f"benchmarks[{i}]"
+        expect(isinstance(b, dict), f"{where}: expected an object")
+        expect(isinstance(b.get("name"), str) and b["name"], f"{where}.name: empty")
+        expect_num(b, "iterations", where, minimum=1)
+        expect_num(b, "real_time", where, minimum=0)
+        expect_num(b, "cpu_time", where, minimum=0)
+        expect(b.get("time_unit") in ("ns", "us", "ms", "s"),
+               f"{where}.time_unit: {b.get('time_unit')!r}")
+        if "counters" in b:
+            expect(isinstance(b["counters"], dict) and
+                   all(isinstance(v, (int, float)) and not isinstance(v, bool)
+                       for v in b["counters"].values()),
+                   f"{where}.counters: expected numeric values")
+    check_byte_form(raw)
+
+
 def check(path):
     with open(path, "rb") as f:
         raw = f.read()
     doc = json.loads(raw, object_pairs_hook=lambda ps: dict_ordered(ps, path))
+
+    expect(isinstance(doc, dict), "top level: expected an object")
+    if doc.get("schema") == MICRO_SCHEMA:
+        check_micro(doc, raw)
+        return
 
     expect_keys(doc, TOP_KEYS, "top level")
     expect(doc["schema"] == SCHEMA, f"schema: {doc['schema']!r} != {SCHEMA!r}")
@@ -184,10 +235,7 @@ def check(path):
         expect(close(cp["makespan_ratio"], length / makespan, tol=1e-6),
                "critical_path.makespan_ratio inconsistent")
 
-    # Byte-level canonical form: re-encoding must not be *shorter* than the
-    # original (catches accidental pretty-printing / trailing whitespace).
-    expect(raw.endswith(b"}\n"), "file must end with '}' + newline")
-    expect(b"\n" not in raw[:-1], "body must be a single line")
+    check_byte_form(raw)
 
 
 def dict_ordered(pairs, path):

@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Converts google-benchmark --benchmark_out JSON into a charmlike-microbench
+stats record (bench_stats/BENCH_micro.json).
+
+The figure benches emit byte-deterministic virtual-time analytics
+("charmlike-stats"); the micro suite measures HOST wall-clock throughput of
+the emulator itself, so its numbers change run to run.  This converter strips
+google-benchmark's volatile context down to what a reader of the record needs
+(cpu count, nominal MHz, build type), keeps per-benchmark rates and counters,
+and writes the same single-line canonical byte form the other stats files use
+so one validator front-end covers both schemas.
+
+Optionally gates throughput: --gate NAME=MIN_ITEMS_PER_SEC fails (exit 1)
+when the named benchmark's items_per_second falls below the floor.  CI uses
+conservative floors (an order of magnitude under typical rates) so only a
+real hot-path regression trips the gate, not shared-runner noise.
+
+Usage: micro_to_stats.py RAW.json OUT.json [--smoke] [--gate NAME=RATE]...
+"""
+import json
+import sys
+
+SCHEMA = "charmlike-microbench"
+VERSION = 1
+
+# Per-benchmark keys worth keeping, in emission order.  Everything else in
+# the google-benchmark record (run_name, repetitions, threads, ...) is noise
+# for this suite's single-threaded, single-repetition runs.
+RUN_KEYS = ["iterations", "real_time", "cpu_time", "time_unit",
+            "items_per_second", "bytes_per_second"]
+
+
+def convert(raw, smoke):
+    ctx = raw.get("context", {})
+    benchmarks = []
+    for b in raw.get("benchmarks", []):
+        if b.get("run_type", "iteration") != "iteration":
+            continue  # aggregates only appear with --benchmark_repetitions
+        entry = {"name": b["name"]}
+        for k in RUN_KEYS:
+            if k in b:
+                entry[k] = b[k]
+        counters = {k: v for k, v in sorted(b.items())
+                    if k not in entry and k not in
+                    ("run_name", "run_type", "family_index",
+                     "per_family_instance_index", "repetitions",
+                     "repetition_index", "threads", "aggregate_name",
+                     "aggregate_unit", "label")
+                    and isinstance(v, (int, float)) and not isinstance(v, bool)}
+        if counters:
+            entry["counters"] = counters
+        benchmarks.append(entry)
+    return {
+        "schema": SCHEMA,
+        "version": VERSION,
+        "bench": "micro_runtime",
+        "smoke": smoke,
+        "context": {
+            "num_cpus": ctx.get("num_cpus", 0),
+            "mhz_per_cpu": ctx.get("mhz_per_cpu", 0),
+            "build_type": ctx.get("library_build_type", "unknown"),
+        },
+        "benchmarks": benchmarks,
+    }
+
+
+def apply_gates(doc, gates):
+    rates = {b["name"]: b.get("items_per_second")
+             for b in doc["benchmarks"]}
+    bad = 0
+    for name, floor in gates:
+        rate = rates.get(name)
+        if rate is None:
+            print(f"gate {name}: benchmark missing or has no items_per_second",
+                  file=sys.stderr)
+            bad += 1
+        elif rate < floor:
+            print(f"gate {name}: {rate:.0f} items/s < floor {floor:.0f}",
+                  file=sys.stderr)
+            bad += 1
+        else:
+            print(f"gate {name}: {rate:.0f} items/s >= floor {floor:.0f} OK")
+    return bad
+
+
+def main(argv):
+    paths, smoke, gates = [], False, []
+    for arg in argv[1:]:
+        if arg == "--smoke":
+            smoke = True
+        elif arg.startswith("--gate"):
+            spec = arg.split("=", 1)[1] if arg.startswith("--gate=") else None
+            if spec is None or "=" not in spec:
+                print("--gate expects --gate=NAME=RATE", file=sys.stderr)
+                return 2
+            name, rate = spec.split("=", 1)
+            gates.append((name, float(rate)))
+        else:
+            paths.append(arg)
+    if len(paths) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    with open(paths[0]) as f:
+        raw = json.load(f)
+    doc = convert(raw, smoke)
+    with open(paths[1], "w") as f:
+        json.dump(doc, f, separators=(",", ":"))
+        f.write("\n")
+    print(f"{paths[1]}: {len(doc['benchmarks'])} benchmarks")
+    return 1 if apply_gates(doc, gates) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -13,6 +13,9 @@
 # figure/ablation binary (default DIR: bench_stats), producing the
 # machine-readable analytics record EXPERIMENTS.md points at.  Validate with
 # scripts/check_stats_schema.py; inspect or diff with build/tools/statsview.
+# The micro suite records host wall-clock rates instead: google-benchmark's
+# JSON is captured and converted (scripts/micro_to_stats.py) into
+# DIR/BENCH_micro.json, the one stats file that is NOT byte-deterministic.
 set -u
 cd "$(dirname "$0")/.."
 
@@ -40,6 +43,10 @@ for b in build/bench/fig* build/bench/ablation_* build/bench/micro_*; do
       else
         args=()
       fi
+      if [ -n "$stats_dir" ]; then
+        args+=(--benchmark_out="$stats_dir/raw_${name}.json"
+               --benchmark_out_format=json)
+      fi
       ;;
     *)
       args=()
@@ -50,6 +57,22 @@ for b in build/bench/fig* build/bench/ablation_* build/bench/micro_*; do
   if ! "$b" ${args[@]+"${args[@]}"}; then
     echo "### $b FAILED (exit $?)"
     failures=$((failures + 1))
+  elif [ -n "$stats_dir" ]; then
+    case "$name" in
+      micro_*)
+        # One micro suite today, so the record keeps the stable name
+        # BENCH_micro.json rather than BENCH_${name}.json.
+        micro_args=()
+        [ "$smoke" -eq 1 ] && micro_args+=(--smoke)
+        if ! python3 scripts/micro_to_stats.py \
+               "$stats_dir/raw_${name}.json" "$stats_dir/BENCH_micro.json" \
+               ${micro_args[@]+"${micro_args[@]}"}; then
+          echo "### micro_to_stats.py FAILED for $name"
+          failures=$((failures + 1))
+        fi
+        rm -f "$stats_dir/raw_${name}.json"
+        ;;
+    esac
   fi
 done
 

@@ -119,8 +119,12 @@ void run(Runtime& rt, const Config& cfg, ampi::Options ampi_opts,
       rt, nranks,
       [cfg, stats](ampi::Comm& comm) { rank_main(comm, cfg, stats.get()); }, ampi_opts);
   const double t0 = rt.now();
+  // The completion callback is stored inside the world's own state, so it
+  // must not capture `world` — that would make the state own itself and
+  // leak.  After start() the rank collection keeps the state alive; the
+  // World handle itself is no longer needed.
   rt.on_pe(0, [world, stats, done = std::move(done), &rt, t0, cfg]() {
-    world->start(Callback::to_function([world, stats, done, &rt, t0, cfg](ReductionResult&&) {
+    world->start(Callback::to_function([stats, done, &rt, t0, cfg](ReductionResult&&) {
       stats->elapsed = rt.now() - t0;
       stats->time_per_iter = stats->elapsed / cfg.iterations;
       done(*stats);

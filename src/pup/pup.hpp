@@ -91,6 +91,7 @@ class Unpacker final : public Er {
 
   void bytes(void* p, std::size_t n) override {
     if (cursor_ + n > size_) throw std::out_of_range("pup::Unpacker: buffer underrun");
+    if (n == 0) return;  // empty vectors unpack into a null data() pointer
     std::memcpy(p, data_ + cursor_, n);
     cursor_ += n;
   }

@@ -12,13 +12,14 @@ void Callback::invoke(Runtime& rt, ReductionResult&& result) const {
     case Kind::kIgnore:
       break;
     case Kind::kFunction: {
-      auto boxed = std::make_shared<ReductionResult>(std::move(result));
-      auto fn = fn_;
-      rt.send_control(pe_, 64, [fn, boxed]() { (*fn)(std::move(*boxed)); });
+      // The result moves into the (move-only) control handler directly.
+      rt.send_control(pe_, 64, [fn = fn_, result = std::move(result)]() mutable {
+        (*fn)(std::move(result));
+      });
       break;
     }
     case Kind::kElement: {
-      rt.send_point(col_, idx_, ep_, pup::to_bytes(result), priority_);
+      rt.send_point(col_, idx_, ep_, rt.pack_pooled(result), priority_);
       break;
     }
     case Kind::kBroadcast: {

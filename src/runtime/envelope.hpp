@@ -34,8 +34,12 @@ struct Envelope {
 
   std::vector<std::byte> payload;
 
-  /// Modeled wire footprint: payload plus a fixed header.
-  std::size_t wire_size() const { return payload.size() + 48; }
+  /// Modeled fixed header footprint, also charged for header-only control
+  /// and broadcast messages that never materialize an Envelope.
+  static constexpr std::size_t kHeaderBytes = 48;
+
+  /// Modeled wire footprint: payload plus the fixed header.
+  std::size_t wire_size() const { return payload.size() + kHeaderBytes; }
 };
 
 }  // namespace charm

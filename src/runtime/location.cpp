@@ -18,7 +18,10 @@ namespace charm {
 
 void Runtime::handle_point_miss(Envelope env, int pe) {
   Collection& c = collection(env.col);
-  if (c.is_group) return;  // message to a dead group PE: drop
+  if (c.is_group) {  // message to a dead group PE: drop
+    release_payload(std::move(env.payload));
+    return;
+  }
 
   const int h = home_pe(env.idx);
   if (pe != h) {

@@ -1,0 +1,81 @@
+#pragma once
+// Free-list pool recycling std::vector<std::byte> capacity across messages.
+//
+// Every point send packs its argument into a payload vector, ships it inside
+// an Envelope, and unpacks it at the destination — after which the vector
+// dies.  Without pooling that is one allocation and one free per message.
+// The pool keeps dead payload buffers (their capacity, not their contents)
+// on a LIFO free list; the next send reuses the hottest buffer, so the
+// steady state allocates nothing as long as payloads fit the retained
+// capacity (kSmallBytes after first reuse).
+//
+// The pool never shrinks a buffer and never zeroes memory — callers receive
+// an *empty* vector with capacity >= their reservation and append into it.
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace charm {
+
+class PayloadPool {
+ public:
+  /// Buffers are grown to at least this capacity when recycled, so any
+  /// payload up to kSmallBytes is served allocation-free after the pool
+  /// warms up (the "small size class").
+  static constexpr std::size_t kSmallBytes = 1024;
+  /// Buffers with more capacity than this are freed rather than retained
+  /// (one giant checkpoint payload must not pin memory forever).
+  static constexpr std::size_t kMaxRetainedBytes = 1 << 16;
+  /// Upper bound on retained buffers.  Sized for a burst handler that sends
+  /// a few thousand messages in one go — they are all in flight (holding
+  /// pool buffers) before the first delivery releases one, and the *next*
+  /// burst should still be served allocation-free.  Worst case pinned
+  /// memory: kMaxFreeBuffers * kSmallBytes = 4 MiB.
+  static constexpr std::size_t kMaxFreeBuffers = 4096;
+
+  /// Returns an empty vector with capacity >= reserve_bytes.
+  std::vector<std::byte> acquire(std::size_t reserve_bytes) {
+    if (!free_.empty()) {
+      std::vector<std::byte> buf = std::move(free_.back());
+      free_.pop_back();
+      if (buf.capacity() < reserve_bytes) {
+        ++grows_;
+        buf.reserve(reserve_bytes);
+      } else {
+        ++hits_;
+      }
+      return buf;
+    }
+    ++misses_;
+    std::vector<std::byte> buf;
+    buf.reserve(reserve_bytes);
+    return buf;
+  }
+
+  /// Hands a dead payload's capacity back to the pool.
+  void release(std::vector<std::byte>&& buf) {
+    if (buf.capacity() == 0 || buf.capacity() > kMaxRetainedBytes ||
+        free_.size() >= kMaxFreeBuffers) {
+      return;  // let the vector free itself
+    }
+    buf.clear();
+    if (buf.capacity() < kSmallBytes) buf.reserve(kSmallBytes);
+    free_.push_back(std::move(buf));
+  }
+
+  // Diagnostics (tests assert the steady state stops missing).
+  std::size_t free_buffers() const { return free_.size(); }
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::uint64_t grows() const { return grows_; }
+
+ private:
+  std::vector<std::vector<std::byte>> free_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t grows_ = 0;
+};
+
+}  // namespace charm

@@ -30,9 +30,9 @@ class ElementRef {
     static_assert(
         std::is_same_v<typename detail::MfpTraits<decltype(Mfp)>::Argument, Arg>,
         "argument type must match the entry method parameter");
-    Runtime::current().send_point(col_, IndexTraits<Ix>::encode(ix_),
-                                  Registry::entry_of<Mfp>(),
-                                  pup::to_bytes(const_cast<Arg&>(arg)), priority);
+    Runtime& rt = Runtime::current();
+    rt.send_point(col_, IndexTraits<Ix>::encode(ix_), Registry::entry_of<Mfp>(),
+                  rt.pack_pooled(const_cast<Arg&>(arg)), priority);
   }
 
   /// Asynchronously invoke a no-argument entry method.
@@ -94,9 +94,11 @@ class ArrayProxy {
   template <class Arg>
   void insert(const Ix& ix, const Arg& ctor_arg, int pe_hint = kInvalidPe,
               int priority = kDefaultPriority) const {
-    Runtime::current().insert_element(
-        col_, IndexTraits<Ix>::encode(ix), Registry::creator_of<C, Arg>(),
-        pup::to_bytes(const_cast<Arg&>(ctor_arg)), pe_hint, priority);
+    Runtime& rt = Runtime::current();
+    rt.insert_element(col_, IndexTraits<Ix>::encode(ix),
+                      Registry::creator_of<C, Arg>(),
+                      rt.pack_pooled(const_cast<Arg&>(ctor_arg)), pe_hint,
+                      priority);
   }
 
   template <auto Mfp, class Arg>

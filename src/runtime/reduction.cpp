@@ -55,17 +55,19 @@ void Runtime::complete_reduction(Collection& c, std::uint64_t seq) {
   c.redux_floor = std::max(c.redux_floor, seq + 1);
   auto node = c.redux.extract(seq);
   Collection::ReduxSlot& slot = node.mapped();
-  auto result = std::make_shared<ReductionResult>();
-  result->nums = std::move(slot.nums);
-  result->chunks = std::move(slot.chunks);
+  ReductionResult result;
+  result.nums = std::move(slot.nums);
+  result.chunks = std::move(slot.chunks);
   const Callback cb = slot.cb;
 
   // Critical-path cost of the combine tree after the last contribution.
+  // The result moves straight into the completion closure (no shared_ptr
+  // box; sim::Handler is move-only).
   const double delay = tree_wave_latency();
   ++outstanding_;
   ++msgs_sent_;
-  machine_.post(0, now() + delay, [this, cb, result]() {
-    if (cb.valid()) cb.invoke(*this, std::move(*result));
+  machine_.post(0, now() + delay, [this, cb, result = std::move(result)]() mutable {
+    if (cb.valid()) cb.invoke(*this, std::move(result));
     note_message_done();
   });
 }

@@ -90,14 +90,20 @@ void Runtime::destroy_self() {
 void Runtime::launch_envelope(Envelope env, int dst, bool count) {
   if (count) ++outstanding_;
   ++msgs_sent_;
-  bytes_sent_ += env.wire_size();
   const std::size_t wire = env.wire_size();
+  bytes_sent_ += wire;
   const int prio = env.priority;
-  auto box = std::make_shared<Envelope>(std::move(env));
+  // The envelope moves straight into the handler closure — no shared_ptr
+  // box, no per-message allocation (sim::UniqueFn stores the closure in a
+  // recycled block).
   machine_.send(
       dst, wire, prio,
-      [this, dst, box]() {
-        if (pe_alive(dst)) on_envelope(std::move(*box));
+      [this, dst, env = std::move(env)]() mutable {
+        if (pe_alive(dst)) {
+          on_envelope(std::move(env));
+        } else {
+          release_payload(std::move(env.payload));
+        }
         note_message_done();
       },
       /*src_override=*/0);
@@ -148,6 +154,7 @@ void Runtime::on_envelope(Envelope env) {
     obj->epoch_ = 1;
     obj->redux_seq_ = std::max(obj->redux_seq_, c.redux_floor);
     ++c.total_elements;
+    release_payload(std::move(env.payload));
     install_element(env.col, env.idx, std::move(obj), pe, 1);
     return;
   }
@@ -191,6 +198,10 @@ void Runtime::deliver_here(Envelope env, int pe) {
   exec_elem_ = prev_elem;
   exec_destroy_requested_ = prev_destroy;
   exec_migrate_to_ = prev_migrate;
+
+  // The payload was fully consumed by the entry invocation above; recycle
+  // its capacity before the (rare) destroy/migrate epilogue.
+  release_payload(std::move(env.payload));
 
   if (do_destroy) {
     destroy_local(env.col, env.idx, pe);
@@ -249,7 +260,7 @@ void Runtime::broadcast_tree_leg(CollectionId col, EntryId ep,
                                  std::shared_ptr<const std::vector<std::byte>> payload,
                                  int priority, int root, int relative_rank) {
   const int abs = (root + relative_rank) % active_pes_;
-  const std::size_t wire = payload->size() + 48;
+  const std::size_t wire = payload->size() + Envelope::kHeaderBytes;
   ++outstanding_;
   ++msgs_sent_;
   bytes_sent_ += wire;
@@ -293,9 +304,9 @@ void Runtime::broadcast_apply_leg(
   const int abs = (root + relative_rank) % active_pes_;
   ++outstanding_;
   ++msgs_sent_;
-  bytes_sent_ += 48;
+  bytes_sent_ += Envelope::kHeaderBytes;
   machine_.send(
-      abs, 48, priority,
+      abs, Envelope::kHeaderBytes, priority,
       [this, col, fn, priority, root, relative_rank, abs]() {
         if (pe_alive(abs)) {
           for (int i = 1; i <= cfg_.bcast_fanout; ++i) {
@@ -328,14 +339,14 @@ void Runtime::broadcast_apply_leg(
       /*src_override=*/0);
 }
 
-void Runtime::send_control(int dst, std::size_t bytes, std::function<void()> fn,
+void Runtime::send_control(int dst, std::size_t bytes, sim::Handler fn,
                            int priority) {
   ++outstanding_;
   ++msgs_sent_;
-  bytes_sent_ += bytes + 48;
+  bytes_sent_ += bytes + Envelope::kHeaderBytes;
   machine_.send(
-      dst, bytes + 48, priority,
-      [this, dst, fn = std::move(fn)]() {
+      dst, bytes + Envelope::kHeaderBytes, priority,
+      [this, dst, fn = std::move(fn)]() mutable {
         if (pe_alive(dst)) fn();
         note_message_done();
       },
@@ -344,11 +355,11 @@ void Runtime::send_control(int dst, std::size_t bytes, std::function<void()> fn,
 
 // ---- services -------------------------------------------------------------------
 
-void Runtime::on_pe(int pe, std::function<void()> fn, int priority) {
+void Runtime::on_pe(int pe, sim::Handler fn, int priority) {
   machine_.post(pe, now(), std::move(fn), priority);
 }
 
-void Runtime::after(int pe, double dt, std::function<void()> fn) {
+void Runtime::after(int pe, double dt, sim::Handler fn) {
   machine_.post(pe, now() + dt, std::move(fn));
 }
 

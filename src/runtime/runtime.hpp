@@ -18,7 +18,9 @@
 #include <memory>
 #include <vector>
 
+#include "pup/pup.hpp"
 #include "runtime/collection.hpp"
+#include "runtime/payload_pool.hpp"
 #include "runtime/registry.hpp"
 #include "sim/machine.hpp"
 
@@ -116,9 +118,9 @@ class Runtime {
   // ---- services -------------------------------------------------------------
 
   /// Run `fn` on `pe` as soon as possible (driver-side orchestration).
-  void on_pe(int pe, std::function<void()> fn, int priority = kDefaultPriority);
+  void on_pe(int pe, sim::Handler fn, int priority = kDefaultPriority);
   /// Run `fn` on `pe` after `dt` virtual seconds (not counted by QD).
-  void after(int pe, double dt, std::function<void()> fn);
+  void after(int pe, double dt, sim::Handler fn);
 
   /// Invoke `cb` once no runtime messages remain in flight.
   void start_quiescence(Callback cb);
@@ -154,8 +156,30 @@ class Runtime {
   // ---- internals used by sibling modules (lb/ft/tram) -------------------------
 
   /// Sends a counted control message executing `fn` on `dst`.
-  void send_control(int dst, std::size_t bytes, std::function<void()> fn,
+  void send_control(int dst, std::size_t bytes, sim::Handler fn,
                     int priority = kDefaultPriority);
+
+  // ---- payload recycling -------------------------------------------------
+
+  /// Returns an empty payload buffer with capacity >= reserve_bytes, reusing
+  /// capacity from delivered messages when available.
+  std::vector<std::byte> acquire_payload(std::size_t reserve_bytes) {
+    return payload_pool_.acquire(reserve_bytes);
+  }
+  /// Recycles a dead payload's capacity for future sends.
+  void release_payload(std::vector<std::byte>&& buf) {
+    payload_pool_.release(std::move(buf));
+  }
+  /// Packs `v` into a pooled payload buffer (the allocation-free analogue of
+  /// pup::to_bytes for the messaging hot path).
+  template <class T>
+  std::vector<std::byte> pack_pooled(T& v) {
+    std::vector<std::byte> buf = acquire_payload(pup::size_of(v));
+    pup::Packer pk(buf);
+    pk | v;
+    return buf;
+  }
+  const PayloadPool& payload_pool() const { return payload_pool_; }
 
   /// Immediately performs the pack/send/install migration protocol; must be
   /// called from a handler on the owning PE (not the element's own handler —
@@ -217,6 +241,8 @@ class Runtime {
   std::uint64_t msgs_sent_ = 0;
   std::uint64_t bytes_sent_ = 0;
   std::uint64_t forwards_ = 0;
+
+  PayloadPool payload_pool_;
 
   std::unique_ptr<LbManager> lb_;
 

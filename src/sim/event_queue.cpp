@@ -1,19 +1,108 @@
 #include "sim/event_queue.hpp"
 
-#include <utility>
+#include <algorithm>
+#include <cassert>
 
 namespace sim {
 
-Event EventQueue::pop() {
-  // std::priority_queue::top() returns a const reference; the element is
-  // moved out via const_cast, which is safe because it is popped immediately.
-  Event e = std::move(const_cast<Event&>(heap_.top()));
-  heap_.pop();
+std::uint32_t EventQueue::acquire_slot() {
+  if (!free_slots_.empty()) {
+    const std::uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    return slot;
+  }
+  if (slot_count_ == (chunks_.size() << kChunkShift))
+    chunks_.push_back(std::make_unique<Event[]>(std::size_t{1} << kChunkShift));
+  return slot_count_++;
+}
+
+Event& EventQueue::emplace(Time time, std::uint64_t seq, Event::Kind kind,
+                           int pe, int priority, std::size_t bytes) {
+  // Park the event in an arena slot; only the 16-byte key takes part in the
+  // sift, so the closure buffer inside the event's handler is never touched
+  // again until the consumer moves it out.
+  const std::uint32_t slot = acquire_slot();
+  assert(slot <= kSlotMask && "event arena exceeded 2^24 pending events");
+  assert(seq < (std::uint64_t{1} << (64 - kSlotBits)) &&
+         "event sequence number exceeded 2^40");
+  Event& e = slot_ref(slot);
+  e.time = time;
+  e.seq = seq;
+  e.kind = kind;
+  e.pe = pe;
+  e.priority = priority;
+  e.bytes = bytes;
+  // e.fn is empty here: slots are recycled only through pop()/pop_top(),
+  // both of which move out or destroy the handler.
+
+  // Sift up with a hole: shift later parents down, then drop the key in.
+  const Key key{time, (seq << kSlotBits) | slot};
+  std::size_t i = heap_.size();
+  heap_.push_back(Key{});
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / kArity;
+    if (!earlier(key, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = key;
   return e;
 }
 
+void EventQueue::push(Event e) {
+  emplace(e.time, e.seq, e.kind, e.pe, e.priority, e.bytes).fn = std::move(e.fn);
+}
+
+void EventQueue::pop_top() {
+  const auto slot =
+      static_cast<std::uint32_t>(heap_.front().seq_slot & kSlotMask);
+  slot_ref(slot).fn.reset();
+  free_slots_.push_back(slot);
+
+  const Key last = heap_.back();
+  heap_.pop_back();
+  if (heap_.empty()) return;
+
+  // Sift the former last key down from the root, moving the earliest child
+  // up into the hole at each level.
+  const std::size_t n = heap_.size();
+  std::size_t i = 0;
+  for (;;) {
+    const std::size_t first = i * kArity + 1;
+    if (first >= n) break;
+    std::size_t best = first;
+    const std::size_t end = std::min(first + kArity, n);
+    for (std::size_t c = first + 1; c < end; ++c) {
+      if (earlier(heap_[c], heap_[best])) best = c;
+    }
+    if (!earlier(heap_[best], last)) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = last;
+}
+
+Event EventQueue::pop() {
+  Event out = std::move(top_mutable());
+  pop_top();
+  return out;
+}
+
 void EventQueue::clear() {
-  while (!heap_.empty()) heap_.pop();
+  // Destroy the closures of events still pending (free slots are already
+  // empty); the chunks themselves are kept for reuse.
+  for (const Key& k : heap_)
+    slot_ref(static_cast<std::uint32_t>(k.seq_slot & kSlotMask)).fn.reset();
+  heap_.clear();
+  free_slots_.clear();
+  slot_count_ = 0;
+}
+
+void EventQueue::reserve(std::size_t n) {
+  heap_.reserve(n);
+  free_slots_.reserve(n);
+  while ((chunks_.size() << kChunkShift) < n)
+    chunks_.push_back(std::make_unique<Event[]>(std::size_t{1} << kChunkShift));
 }
 
 }  // namespace sim

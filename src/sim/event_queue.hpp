@@ -1,17 +1,33 @@
 #pragma once
-// Global future-event list for the machine emulator: a min-heap over
-// (time, seq).  The seq tie-break makes the whole simulation deterministic.
+// Global future-event list for the machine emulator: an indexed 4-ary
+// min-heap over (time, seq).  The seq tie-break makes the whole simulation
+// deterministic — (time, seq) is a total order, so any correct heap pops the
+// exact same event sequence.
+//
+// Layout: the heap orders small POD keys {time, seq·slot}; the events
+// themselves (which carry an inline UniqueFn closure, so moving one is an
+// indirect call plus a buffer copy) live in a chunked slot arena with a free
+// list and are moved exactly twice — into their slot at push and out at pop.
+// Sifts touch only 16-byte keys, the 4-ary layout halves the tree depth
+// versus a binary heap, and pop() hands the event out by value (the old
+// std::priority_queue forced a const_cast to steal the top element).  The
+// arena grows chunk by chunk with stable addresses, so a burst of traffic
+// never triggers a realloc that would move every pending event.  clear()
+// is O(live events) instead of n pops, and chunks are retained across
+// clears so the steady state never allocates.
 
 #include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <memory>
+#include <utility>
 #include <vector>
+
+#include "sim/unique_fn.hpp"
 
 namespace sim {
 
 using Time = double;
-using Handler = std::function<void()>;
+using Handler = UniqueFn;
 
 struct Event {
   enum class Kind : std::uint8_t { kArrive, kExec };
@@ -30,23 +46,83 @@ class EventQueue {
   bool empty() const { return heap_.empty(); }
   std::size_t size() const { return heap_.size(); }
 
-  void push(Event e) { heap_.push(std::move(e)); }
+  void push(Event e);
 
-  /// Pops the earliest event (ties broken by insertion order).
+  /// Allocates an arena slot and heap key for an event at (time, seq), fills
+  /// in the POD fields, and returns the slot so the caller can move the
+  /// handler straight in (one Handler move instead of three).  The returned
+  /// reference is valid only until the next push/emplace; the handler slot is
+  /// guaranteed empty on return.
+  Event& emplace(Time time, std::uint64_t seq, Event::Kind kind, int pe,
+                 int priority, std::size_t bytes);
+
+  /// Pops the earliest event (ties broken by insertion order), moving it out
+  /// of its arena slot.
   Event pop();
 
-  const Event& top() const { return heap_.top(); }
+  const Event& top() const {
+    return slot_ref(static_cast<std::uint32_t>(heap_.front().seq_slot & kSlotMask));
+  }
 
+  /// Mutable access to the top event, so the consumer can move the handler
+  /// out of the arena slot directly before pop_top().
+  Event& top_mutable() {
+    return slot_ref(static_cast<std::uint32_t>(heap_.front().seq_slot & kSlotMask));
+  }
+
+  /// Removes the top event; anything left in its handler slot is destroyed.
+  void pop_top();
+
+  /// Drops all pending events in one pass (no per-element re-heapify).
+  /// Arena chunks are retained for reuse.
   void clear();
 
+  /// Pre-sizes the key heap and slot arena (Machine's constructor calls this
+  /// so the steady state never reallocates).
+  void reserve(std::size_t n);
+
  private:
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
+  static constexpr std::size_t kArity = 4;
+
+  // 16-byte heap key: the arena slot index rides in the low bits of the
+  // packed word, under the (unique, monotone) sequence number.  Comparing
+  // the packed words orders by seq alone — the slot bits can never decide a
+  // comparison because no two keys share a seq.  40 bits of seq (~10^12
+  // events per machine) and 24 bits of slot (~16M simultaneously pending
+  // events) are far beyond anything the emulator runs; debug asserts in
+  // emplace() guard both limits.
+  static constexpr unsigned kSlotBits = 24;
+  static constexpr std::uint64_t kSlotMask = (std::uint64_t{1} << kSlotBits) - 1;
+
+  struct Key {
+    Time time;
+    std::uint64_t seq_slot;  // (seq << kSlotBits) | slot
   };
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+
+  static bool earlier(const Key& a, const Key& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq_slot < b.seq_slot;
+  }
+
+  // Chunked arena: fixed-size chunks give every event a stable address, so
+  // arena growth allocates one chunk instead of moving every pending event
+  // (Event moves run the closure's relocate hook — an indirect call each).
+  static constexpr unsigned kChunkShift = 8;  // 256 events per chunk
+  static constexpr std::uint32_t kChunkMask = (1u << kChunkShift) - 1;
+
+  Event& slot_ref(std::uint32_t s) {
+    return chunks_[s >> kChunkShift][s & kChunkMask];
+  }
+  const Event& slot_ref(std::uint32_t s) const {
+    return chunks_[s >> kChunkShift][s & kChunkMask];
+  }
+
+  std::uint32_t acquire_slot();
+
+  std::vector<Key> heap_;
+  std::vector<std::unique_ptr<Event[]>> chunks_;
+  std::uint32_t slot_count_ = 0;  // slots handed out so far (high-water mark)
+  std::vector<std::uint32_t> free_slots_;
 };
 
 }  // namespace sim

@@ -14,6 +14,8 @@ Machine::Machine(MachineConfig cfg)
       net_(cfg.net, topo_),
       pes_(static_cast<std::size_t>(cfg.npes)) {
   if (cfg.npes <= 0) throw std::invalid_argument("Machine: npes must be positive");
+  // Pre-size the event list so the steady state never reallocates it.
+  queue_.reserve(static_cast<std::size_t>(cfg.npes) * 8 + 64);
 }
 
 void Machine::charge(double seconds) {
@@ -36,44 +38,28 @@ void Machine::send(int dst, std::size_t bytes, int priority, Handler fn,
     src = src_override >= 0 ? src_override : dst;
     depart = time_;
   }
-  Event e;
-  e.time = depart + net_.transit_time(src, dst, bytes);
-  e.seq = next_seq();
-  e.kind = Event::Kind::kArrive;
-  e.pe = dst;
-  e.priority = priority;
-  e.bytes = bytes;
-  e.fn = std::move(fn);
+  const Time at = depart + net_.transit_time(src, dst, bytes);
+  queue_.emplace(at, next_seq(), Event::Kind::kArrive, dst, priority, bytes)
+      .fn = std::move(fn);
   if (tracer_ != nullptr) {
     const int hops =
         net_.params().use_topology && src != dst ? topo_.hops(src, dst) : 0;
-    tracer_->send(src, dst, bytes, hops, depart, e.time);
+    tracer_->send(src, dst, bytes, hops, depart, at);
   }
-  queue_.push(std::move(e));
 }
 
 void Machine::post(int pe, Time at, Handler fn, int priority) {
-  Event e;
-  e.time = std::max(at, time_);
-  e.seq = next_seq();
-  e.kind = Event::Kind::kArrive;
-  e.pe = pe;
-  e.priority = priority;
-  e.bytes = 0;
-  e.fn = std::move(fn);
-  queue_.push(std::move(e));
+  queue_.emplace(std::max(at, time_), next_seq(), Event::Kind::kArrive, pe,
+                 priority, 0)
+      .fn = std::move(fn);
 }
 
 void Machine::schedule_exec(int pe_id, Time not_before) {
   Pe& p = pes_[static_cast<std::size_t>(pe_id)];
   if (p.exec_pending_) return;
   p.exec_pending_ = true;
-  Event e;
-  e.time = std::max(not_before, p.clock_);
-  e.seq = next_seq();
-  e.kind = Event::Kind::kExec;
-  e.pe = pe_id;
-  queue_.push(std::move(e));
+  queue_.emplace(std::max(not_before, p.clock_), next_seq(),
+                 Event::Kind::kExec, pe_id, 0, 0);
 }
 
 bool Machine::step() {
@@ -86,46 +72,59 @@ bool Machine::step() {
     inject_failure();
     if (stopped_ || queue_.empty()) return false;
   }
-  Event e = queue_.pop();
-  time_ = std::max(time_, e.time);
+  // Consume the top event from its arena slot.  Copy the POD fields to
+  // locals and move the handler out before anything that can push to the
+  // queue (which may reallocate the arena and invalidate the reference).
+  Event& ev = queue_.top_mutable();
+  const Time at = ev.time;
+  const int pe = ev.pe;
+  const Event::Kind kind = ev.kind;
+  time_ = std::max(time_, at);
   ++events_processed_;
-  Pe& p = pes_[static_cast<std::size_t>(e.pe)];
+  Pe& p = pes_[static_cast<std::size_t>(pe)];
 
-  if (e.kind == Event::Kind::kArrive) {
+  if (kind == Event::Kind::kArrive) {
+    const int priority = ev.priority;
+    const std::uint64_t seq = ev.seq;
+    const std::size_t bytes = ev.bytes;
     if (p.failed_) {
       // In-flight message reaches a quarantined PE: dispose per policy.
+      Handler fn = std::move(ev.fn);
+      queue_.pop_top();
       const bool redirected =
-          dispose(e.pe, e.time, e.priority, e.bytes, std::move(e.fn), nullptr);
-      if (injector_ != nullptr) injector_->note_inflight(e.pe, redirected);
+          dispose(pe, at, priority, bytes, std::move(fn), nullptr);
+      if (injector_ != nullptr) injector_->note_inflight(pe, redirected);
       return true;
     }
-    p.ready_.push(Pe::ReadyMsg{e.priority, e.time, e.seq, e.bytes, std::move(e.fn)});
-    schedule_exec(e.pe, e.time);
+    // The handler moves straight from the event arena into the ready ring.
+    p.ready_.emplace(priority, at, seq, bytes, std::move(ev.fn));
+    queue_.pop_top();
+    schedule_exec(pe, at);
     return true;
   }
+  queue_.pop_top();
 
   // kExec: run the best-priority pending message to completion.
   p.exec_pending_ = false;
   if (p.ready_.empty()) return true;  // spurious (message was stolen/cleared)
-  Pe::ReadyMsg msg = std::move(const_cast<Pe::ReadyMsg&>(p.ready_.top()));
-  p.ready_.pop();
+  ReadyMsg msg = p.ready_.pop();
 
   if (tracer_ != nullptr) {
-    if (p.clock_ < e.time) tracer_->idle(e.pe, p.clock_, e.time);
-    tracer_->recv(e.pe, msg.priority, msg.bytes, msg.arrival, e.time);
+    if (p.clock_ < at) tracer_->idle(pe, p.clock_, at);
+    tracer_->recv(pe, msg.priority, msg.bytes, msg.arrival, at);
   }
 
-  ctx_ = ExecCtx{e.pe, e.time, 0.0};
+  ctx_ = ExecCtx{pe, at, 0.0};
   // Receiver-side scheduling overhead for every delivery.
   ctx_.elapsed += net_.params().alpha_recv / p.freq_;
   msg.fn();
-  p.clock_ = e.time + ctx_.elapsed;
+  p.clock_ = at + ctx_.elapsed;
   p.busy_ += ctx_.elapsed;
   ++p.executed_;
-  if (tracer_ != nullptr) tracer_->exec(e.pe, e.time, p.clock_, msg.bytes);
+  if (tracer_ != nullptr) tracer_->exec(pe, at, p.clock_, msg.bytes);
   ctx_ = ExecCtx{};
 
-  if (!p.ready_.empty()) schedule_exec(e.pe, p.clock_);
+  if (!p.ready_.empty()) schedule_exec(pe, p.clock_);
   return true;
 }
 
@@ -161,8 +160,7 @@ void Machine::fail_pe(int pe_id, FaultRecord* rec) {
   // Dispose queued messages in deterministic (priority, arrival, seq) order.
   // They count as dropped_ready, not as in-flight disposals.
   while (!p.ready_.empty()) {
-    Pe::ReadyMsg msg = std::move(const_cast<Pe::ReadyMsg&>(p.ready_.top()));
-    p.ready_.pop();
+    ReadyMsg msg = p.ready_.pop();
     dispose(pe_id, time_, msg.priority, msg.bytes, std::move(msg.fn), nullptr);
   }
 }
@@ -181,15 +179,9 @@ bool Machine::dispose(int dead_pe, Time at, int priority, std::size_t bytes,
       const int cand = (dead_pe + k) % npes();
       if (pes_[static_cast<std::size_t>(cand)].failed_) continue;
       ++redirects_;
-      Event e;
-      e.time = std::max(at, time_);
-      e.seq = next_seq();
-      e.kind = Event::Kind::kArrive;
-      e.pe = cand;
-      e.priority = priority;
-      e.bytes = bytes;
-      e.fn = std::move(fn);
-      queue_.push(std::move(e));
+      queue_.emplace(std::max(at, time_), next_seq(), Event::Kind::kArrive,
+                     cand, priority, bytes)
+          .fn = std::move(fn);
       return true;
     }
   }

@@ -17,13 +17,12 @@
 // why this substitution preserves the paper's scaling behaviour).
 
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <stdexcept>
 #include <vector>
 
 #include "sim/event_queue.hpp"
 #include "sim/network.hpp"
+#include "sim/ready_queue.hpp"
 #include "sim/topology.hpp"
 
 namespace trace {
@@ -58,28 +57,13 @@ class Pe {
  private:
   friend class Machine;
 
-  struct ReadyMsg {
-    int priority;
-    Time arrival;
-    std::uint64_t seq;
-    std::size_t bytes;
-    Handler fn;
-  };
-  struct LowerPriorityFirst {
-    bool operator()(const ReadyMsg& a, const ReadyMsg& b) const {
-      if (a.priority != b.priority) return a.priority > b.priority;
-      if (a.arrival != b.arrival) return a.arrival > b.arrival;
-      return a.seq > b.seq;
-    }
-  };
-
   Time clock_ = 0;
   double freq_ = 1.0;
   double busy_ = 0;
   std::uint64_t executed_ = 0;
   bool exec_pending_ = false;
   bool failed_ = false;
-  std::priority_queue<ReadyMsg, std::vector<ReadyMsg>, LowerPriorityFirst> ready_;
+  ReadyQueue ready_;
 };
 
 class Machine {

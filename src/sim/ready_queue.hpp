@@ -1,0 +1,156 @@
+#pragma once
+// Per-PE ready queue: messages that have arrived at a PE and wait for it to
+// become free, served in (priority, arrival, seq) order.
+//
+// Observation: almost all traffic is default-priority (0), and the machine
+// delivers arrivals in globally nondecreasing (time, seq) order — so the
+// default-priority class arrives *already sorted* and a plain FIFO ring
+// serves it in exactly heap order, with O(1) push/pop and no element moves.
+// Non-default priorities (a small minority: control messages, prioritized
+// PDES events) go to a 4-ary min-heap fallback.  pop() merges the two by
+// comparing the ring head against the heap root under the full
+// (priority, arrival, seq) order, so the served sequence is bit-identical
+// to the old single priority_queue.
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+
+namespace sim {
+
+struct ReadyMsg {
+  int priority = 0;
+  Time arrival = 0;
+  std::uint64_t seq = 0;
+  std::size_t bytes = 0;
+  Handler fn;
+};
+
+class ReadyQueue {
+ public:
+  /// Priority class served by the FIFO fast path.
+  static constexpr int kFifoPriority = 0;
+
+  bool empty() const { return fifo_count_ == 0 && heap_.empty(); }
+  std::size_t size() const { return fifo_count_ + heap_.size(); }
+
+  void push(ReadyMsg m) {
+    emplace(m.priority, m.arrival, m.seq, m.bytes, std::move(m.fn));
+  }
+
+  /// In-place push: on the FIFO fast path the fields of the ring slot are
+  /// assigned directly, so the handler is moved exactly once (caller's
+  /// reference → ring slot).
+  void emplace(int priority, Time arrival, std::uint64_t seq,
+               std::size_t bytes, Handler&& fn) {
+    if (priority == kFifoPriority) {
+      // The machine hands arrivals over in nondecreasing (arrival, seq)
+      // order, which is what makes the ring order-equivalent to the heap.
+      assert(fifo_count_ == 0 ||
+             std::pair(back().arrival, back().seq) < std::pair(arrival, seq));
+      if (fifo_count_ == ring_.size()) grow_ring();
+      ReadyMsg& m = ring_[(head_ + fifo_count_) & (ring_.size() - 1)];
+      m.priority = priority;
+      m.arrival = arrival;
+      m.seq = seq;
+      m.bytes = bytes;
+      m.fn = std::move(fn);
+      ++fifo_count_;
+    } else {
+      heap_push(ReadyMsg{priority, arrival, seq, bytes, std::move(fn)});
+    }
+  }
+
+  /// Pops the best message under (priority, arrival, seq).
+  ReadyMsg pop() {
+    if (fifo_count_ == 0) return heap_pop();
+    if (heap_.empty() || before(front(), heap_.front())) {
+      ReadyMsg m = std::move(front());
+      head_ = (head_ + 1) & (ring_.size() - 1);
+      --fifo_count_;
+      return m;
+    }
+    return heap_pop();
+  }
+
+  void clear() {
+    ring_.clear();
+    head_ = 0;
+    fifo_count_ = 0;
+    heap_.clear();
+  }
+
+ private:
+  static constexpr std::size_t kArity = 4;
+
+  static bool before(const ReadyMsg& a, const ReadyMsg& b) {
+    if (a.priority != b.priority) return a.priority < b.priority;
+    if (a.arrival != b.arrival) return a.arrival < b.arrival;
+    return a.seq < b.seq;
+  }
+
+  ReadyMsg& front() { return ring_[head_]; }
+  ReadyMsg& back() {
+    return ring_[(head_ + fifo_count_ - 1) & (ring_.size() - 1)];
+  }
+
+  void grow_ring() {
+    const std::size_t cap = ring_.empty() ? 8 : ring_.size() * 2;
+    std::vector<ReadyMsg> next(cap);
+    for (std::size_t i = 0; i < fifo_count_; ++i)
+      next[i] = std::move(ring_[(head_ + i) & (ring_.size() - 1)]);
+    ring_ = std::move(next);
+    head_ = 0;
+  }
+
+  void heap_push(ReadyMsg m) {
+    std::size_t i = heap_.size();
+    heap_.push_back(ReadyMsg{});
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / kArity;
+      if (!before(m, heap_[parent])) break;
+      heap_[i] = std::move(heap_[parent]);
+      i = parent;
+    }
+    heap_[i] = std::move(m);
+  }
+
+  ReadyMsg heap_pop() {
+    ReadyMsg out = std::move(heap_.front());
+    if (heap_.size() > 1) {
+      ReadyMsg item = std::move(heap_.back());
+      heap_.pop_back();
+      const std::size_t n = heap_.size();
+      std::size_t i = 0;
+      for (;;) {
+        const std::size_t first = i * kArity + 1;
+        if (first >= n) break;
+        std::size_t best = first;
+        const std::size_t last = std::min(first + kArity, n);
+        for (std::size_t c = first + 1; c < last; ++c)
+          if (before(heap_[c], heap_[best])) best = c;
+        if (!before(heap_[best], item)) break;
+        heap_[i] = std::move(heap_[best]);
+        i = best;
+      }
+      heap_[i] = std::move(item);
+    } else {
+      heap_.pop_back();
+    }
+    return out;
+  }
+
+  // FIFO ring (power-of-two capacity) for default-priority messages.
+  std::vector<ReadyMsg> ring_;
+  std::size_t head_ = 0;
+  std::size_t fifo_count_ = 0;
+  // 4-ary min-heap fallback for everything else.
+  std::vector<ReadyMsg> heap_;
+};
+
+}  // namespace sim

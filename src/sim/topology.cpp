@@ -32,11 +32,10 @@ std::array<int, 3> factor3(int n) {
 
 Torus3D::Torus3D(int npes) : npes_(npes), dims_(factor3(npes)) {
   if (npes <= 0) throw std::invalid_argument("Torus3D: npes must be positive");
-}
-
-std::array<int, 3> Torus3D::coords(int pe) const {
+  coords_.reserve(static_cast<std::size_t>(npes));
   const auto& d = dims_;
-  return {pe % d[0], (pe / d[0]) % d[1], pe / (d[0] * d[1])};
+  for (int pe = 0; pe < npes; ++pe)
+    coords_.push_back({pe % d[0], (pe / d[0]) % d[1], pe / (d[0] * d[1])});
 }
 
 int Torus3D::pe_at(const std::array<int, 3>& c) const {
@@ -50,16 +49,16 @@ int Torus3D::torus_dist(int a, int b, int extent) const {
 
 int Torus3D::hops(int src, int dst) const {
   if (src == dst) return 0;
-  auto cs = coords(src);
-  auto cd = coords(dst);
+  const auto& cs = coords(src);
+  const auto& cd = coords(dst);
   int h = 0;
   for (int i = 0; i < 3; ++i) h += torus_dist(cs[i], cd[i], dims_[i]);
   return h;
 }
 
 int Torus3D::first_differing_dim(int src, int dst) const {
-  auto cs = coords(src);
-  auto cd = coords(dst);
+  const auto& cs = coords(src);
+  const auto& cd = coords(dst);
   for (int i = 0; i < 3; ++i)
     if (cs[i] != cd[i]) return i;
   return -1;

@@ -6,6 +6,7 @@
 
 #include <array>
 #include <cstdint>
+#include <vector>
 
 namespace sim {
 
@@ -16,7 +17,12 @@ class Torus3D {
   int npes() const { return npes_; }
   const std::array<int, 3>& dims() const { return dims_; }
 
-  std::array<int, 3> coords(int pe) const;
+  // Coordinates come from a table built once at construction: hops() sits on
+  // the per-message network path, and deriving coords arithmetically would
+  // cost two integer divisions per call.
+  const std::array<int, 3>& coords(int pe) const {
+    return coords_[static_cast<std::size_t>(pe)];
+  }
   int pe_at(const std::array<int, 3>& c) const;
 
   /// Minimal hop count between two PEs on the torus.
@@ -37,6 +43,7 @@ class Torus3D {
 
   int npes_;
   std::array<int, 3> dims_;
+  std::vector<std::array<int, 3>> coords_;
 };
 
 }  // namespace sim

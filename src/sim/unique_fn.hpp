@@ -1,0 +1,213 @@
+#pragma once
+// UniqueFn: a move-only replacement for std::function<void()> on the
+// messaging hot path.
+//
+// Why not std::function?  Every message handler the runtime creates closes
+// over an Envelope (~100 bytes).  std::function's small-buffer optimization
+// tops out at two pointers, so each such closure costs one heap allocation at
+// send time and one free at delivery — per message.  UniqueFn removes both:
+//
+//   * Inline storage of kInlineBytes (64): small closures (timer thunks,
+//     control messages, driver lambdas) live inside the Event itself and are
+//     moved by value when the event heap sifts.
+//   * Larger closures are placed in fixed-size blocks drawn from a
+//     thread-local free list (size classes 128/256/512 bytes).  Blocks are
+//     recycled when the closure is destroyed, so the steady state performs
+//     zero heap allocations, and moving a boxed closure is a pointer swap —
+//     heap sifts never copy a large closure.
+//   * Move-only: closures may own their payload (an Envelope moved straight
+//     into the capture) instead of sharing it through a shared_ptr box.
+//
+// The block cache is thread-local because the emulator is sequential; it
+// survives Machine/Runtime teardown, so closures destroyed late (pending
+// events in a stopped machine) can always return their block.
+
+#include <cstddef>
+#include <functional>  // std::bad_function_call
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace sim {
+
+namespace detail {
+
+/// Recycling allocator for closure blocks: three size classes, LIFO free
+/// lists, bounded retention.  Anything larger falls through to operator new.
+class BlockCache {
+ public:
+  static constexpr std::size_t kClassBytes[3] = {128, 256, 512};
+  /// Retention bound per class.  A burst handler can put a few thousand
+  /// closures in flight before the first one is destroyed, and the next
+  /// burst should be served entirely from the cache (worst case pinned:
+  /// 4096 * (128+256+512) bytes ≈ 3.5 MiB).
+  static constexpr std::size_t kMaxFreePerClass = 4096;
+
+  static void* acquire(std::size_t bytes) {
+    const int cls = class_of(bytes);
+    if (cls < 0) return ::operator new(bytes);
+    auto& list = instance().free_[static_cast<std::size_t>(cls)];
+    if (!list.empty()) {
+      void* p = list.back().release();
+      list.pop_back();
+      return p;
+    }
+    return ::operator new(kClassBytes[cls]);
+  }
+
+  static void release(void* p, std::size_t bytes) {
+    const int cls = class_of(bytes);
+    if (cls < 0) {
+      ::operator delete(p);
+      return;
+    }
+    auto& list = instance().free_[static_cast<std::size_t>(cls)];
+    if (list.size() >= kMaxFreePerClass) {
+      ::operator delete(p);
+      return;
+    }
+    list.emplace_back(p);
+  }
+
+  /// Blocks currently cached (test/diagnostic hook).
+  static std::size_t cached_blocks() {
+    std::size_t n = 0;
+    for (const auto& l : instance().free_) n += l.size();
+    return n;
+  }
+
+ private:
+  struct OpDelete {
+    void operator()(void* p) const { ::operator delete(p); }
+  };
+  using Block = std::unique_ptr<void, OpDelete>;
+
+  static int class_of(std::size_t bytes) {
+    for (int c = 0; c < 3; ++c)
+      if (bytes <= kClassBytes[c]) return c;
+    return -1;
+  }
+  static BlockCache& instance() {
+    thread_local BlockCache cache;
+    return cache;
+  }
+
+  std::vector<Block> free_[3];
+};
+
+}  // namespace detail
+
+class UniqueFn {
+ public:
+  /// Closures up to this size are stored inline in the UniqueFn itself.
+  static constexpr std::size_t kInlineBytes = 64;
+
+  UniqueFn() = default;
+  UniqueFn(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  template <class F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, UniqueFn> &&
+             std::is_invocable_r_v<void, std::remove_cvref_t<F>&>)
+  UniqueFn(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::remove_cvref_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineBytes &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+      ops_ = &inline_ops<Fn>;
+    } else {
+      void* block = detail::BlockCache::acquire(sizeof(Fn));
+      ::new (block) Fn(std::forward<F>(f));
+      boxed_ = block;
+      ops_ = &boxed_ops<Fn>;
+    }
+  }
+
+  UniqueFn(UniqueFn&& other) noexcept { steal(other); }
+
+  UniqueFn& operator=(UniqueFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      steal(other);
+    }
+    return *this;
+  }
+
+  UniqueFn& operator=(std::nullptr_t) noexcept {
+    reset();
+    return *this;
+  }
+
+  UniqueFn(const UniqueFn&) = delete;
+  UniqueFn& operator=(const UniqueFn&) = delete;
+
+  ~UniqueFn() { reset(); }
+
+  void operator()() {
+    if (ops_ == nullptr) throw std::bad_function_call();
+    ops_->invoke(slot());
+  }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  /// Destroys the held closure (if any), returning boxed storage to the
+  /// block cache; the wrapper becomes empty.
+  void reset() noexcept {
+    if (ops_ == nullptr) return;
+    if (boxed_ != nullptr) {
+      ops_->destroy(boxed_);
+      detail::BlockCache::release(boxed_, ops_->size);
+    } else {
+      ops_->destroy(storage_);
+    }
+    ops_ = nullptr;
+    boxed_ = nullptr;
+  }
+
+  /// True when the held closure lives in the inline buffer (test hook).
+  bool is_inline() const { return ops_ != nullptr && boxed_ == nullptr; }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    void (*relocate)(void* dst, void* src);  // move-construct + destroy src
+    void (*destroy)(void*);
+    std::size_t size;
+  };
+
+  template <class Fn>
+  static constexpr Ops inline_ops{
+      [](void* p) { (*static_cast<Fn*>(p))(); },
+      [](void* dst, void* src) {
+        ::new (dst) Fn(std::move(*static_cast<Fn*>(src)));
+        static_cast<Fn*>(src)->~Fn();
+      },
+      [](void* p) { static_cast<Fn*>(p)->~Fn(); },
+      sizeof(Fn)};
+
+  template <class Fn>
+  static constexpr Ops boxed_ops{
+      [](void* p) { (*static_cast<Fn*>(p))(); },
+      /*relocate=*/nullptr,  // boxed closures move by pointer, never relocate
+      [](void* p) { static_cast<Fn*>(p)->~Fn(); },
+      sizeof(Fn)};
+
+  void* slot() { return boxed_ != nullptr ? boxed_ : static_cast<void*>(storage_); }
+
+  void steal(UniqueFn& other) noexcept {
+    ops_ = other.ops_;
+    boxed_ = other.boxed_;
+    if (ops_ != nullptr && boxed_ == nullptr)
+      ops_->relocate(storage_, other.storage_);
+    other.ops_ = nullptr;
+    other.boxed_ = nullptr;
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+  void* boxed_ = nullptr;
+};
+
+}  // namespace sim

@@ -133,10 +133,14 @@ bool Library::validate() const {
 
 namespace {
 
-void refine_and_continue(std::shared_ptr<SortState> st,
-                         const std::vector<double>& counts);
+// The phase-transition helpers take the state as a raw pointer on purpose:
+// the [st] closures below are stored into st->done_internal, i.e. inside the
+// state itself, and capturing the owning shared_ptr there would make the
+// state own itself (an unreclaimable cycle).  The callbacks can only fire
+// while the Library and its Sorter elements (the real owners) are alive.
+void refine_and_continue(SortState* st, const std::vector<double>& counts);
 
-void start_probing(std::shared_ptr<SortState> st, double key_min, double key_max) {
+void start_probing(SortState* st, double key_min, double key_max) {
   const int P = st->npes;
   st->splitters.resize(static_cast<std::size_t>(P - 1));
   st->lo.assign(static_cast<std::size_t>(P - 1), static_cast<std::uint64_t>(key_min));
@@ -153,7 +157,7 @@ void start_probing(std::shared_ptr<SortState> st, double key_min, double key_max
   st->proxy().broadcast<&Sorter::count>(SplitterMsg{st->splitters});
 }
 
-void begin_exchange(std::shared_ptr<SortState> st) {
+void begin_exchange(SortState* st) {
   // Barrier contribution from every PE's merge completes the sort.
   st->done_internal = Callback::to_function([st](ReductionResult&&) {
     st->done.invoke(Runtime::current(), ReductionResult{});
@@ -161,8 +165,7 @@ void begin_exchange(std::shared_ptr<SortState> st) {
   st->proxy().broadcast<&Sorter::exchange>(SplitterMsg{st->splitters});
 }
 
-void refine_and_continue(std::shared_ptr<SortState> st,
-                         const std::vector<double>& counts) {
+void refine_and_continue(SortState* st, const std::vector<double>& counts) {
   // Root-side refinement: adjust each splitter toward its ideal cumulative
   // rank by bisecting its bracket.
   Runtime::current().charge(1e-6 + 0.2e-6 * static_cast<double>(counts.size()));
@@ -207,7 +210,7 @@ void refine_and_continue(std::shared_ptr<SortState> st,
 }  // namespace
 
 void Library::hist_sort(Callback done) {
-  auto st = state_;
+  auto* st = state_.get();  // raw: the closure lives inside *st (see above)
   st->done = std::move(done);
   st->done_internal = Callback::to_function([st](ReductionResult&& r) {
     // r = {min, -max, -count} under kMin.

@@ -33,7 +33,10 @@ void Sorter::send_samples(const StartMsg&) {
 
 void Sorter::collect_samples(const KeysMsg& m) {
   // Root-only: gather P sample chunks, then compute splitters centrally.
-  auto st = state_;
+  // Raw pointer: the [st] closure below is stored into st->done_internal,
+  // so an owning capture would make the state own itself (leak); the
+  // callback only fires while the Sorter elements keep the state alive.
+  auto* st = state_.get();
   st->samples.insert(st->samples.end(), m.keys.begin(), m.keys.end());
   if (++st->sample_chunks < st->npes) return;
   st->sample_chunks = 0;
@@ -60,7 +63,7 @@ void Sorter::collect_samples(const KeysMsg& m) {
 }
 
 void Library::merge_sort(Callback done) {
-  auto st = state_;
+  auto* st = state_.get();  // raw: the closure lives inside *st
   st->done = std::move(done);
   // local sort -> barrier -> samples to root.
   st->done_internal = Callback::to_function([st](ReductionResult&&) {

@@ -46,6 +46,7 @@ void Core::insert_on(int pe, Item item, bool flush_through) {
     rt_.charge(rt_.config().deliver_cost);
     if (elem != nullptr) {
       rt_.deliver_local(c, *elem, item.ep, item.payload);
+      rt_.release_payload(std::move(item.payload));
       return;
     }
     // The element is not here.  Consult the local location knowledge the way

@@ -41,6 +41,8 @@ class Core {
   /// (phase end).  Completion is observable via Runtime::start_quiescence.
   void flush_all();
 
+  Runtime& rt() const { return rt_; }
+
   std::uint64_t items_inserted() const { return items_; }
   std::uint64_t batches_sent() const { return batches_; }
   /// Mean items per batch — the aggregation factor TRAM achieves.
@@ -89,7 +91,7 @@ class Stream {
   template <class Ix>
   void send(const Ix& dest, const Item& item) const {
     core_->insert(IndexTraits<Ix>::encode(dest), Registry::entry_of<Mfp>(),
-                  pup::to_bytes(const_cast<Item&>(item)));
+                  core_->rt().pack_pooled(const_cast<Item&>(item)));
   }
 
   void flush_all() const { core_->flush_all(); }
