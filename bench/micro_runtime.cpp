@@ -7,6 +7,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <string_view>
+#include <vector>
+
 #include "runtime/charm.hpp"
 #include "tram/tram.hpp"
 
@@ -17,11 +21,66 @@ using namespace charm;
 struct Payload {
   std::vector<double> values;
   std::map<std::string, int> table;
-  void pup(pup::Er& p) {
+  template <class P>
+  void pup(P& p) {
     p | values;
     p | table;
   }
 };
+
+struct Msg {
+  int v = 0;
+  template <class P>
+  void pup(P& p) {
+    p | v;
+  }
+};
+
+/// Flat aggregate whose walk collapses to one memcpy (pup::mem_copyable).
+struct MemMsg {
+  double a = 0;
+  double b = 0;
+  std::int64_t c = 0;
+  template <class P>
+  void pup(P& p) {
+    p | a;
+    p | b;
+    p | c;
+  }
+};
+
+struct StringMsg {
+  std::string name;
+  std::vector<std::string> tags;
+  template <class P>
+  void pup(P& p) {
+    p | name;
+    p | tags;
+  }
+};
+
+struct NestedMsg {
+  std::vector<std::vector<double>> rows;
+  template <class P>
+  void pup(P& p) {
+    p | rows;
+  }
+};
+
+}  // namespace
+
+namespace pup {
+template <>
+struct MemCopyable<Msg> : std::true_type {
+  static constexpr std::size_t kFieldBytes = sizeof(int);
+};
+template <>
+struct MemCopyable<MemMsg> : std::true_type {
+  static constexpr std::size_t kFieldBytes = 2 * sizeof(double) + sizeof(std::int64_t);
+};
+}  // namespace pup
+
+namespace {
 
 void BM_PupRoundTrip(benchmark::State& state) {
   Payload in;
@@ -37,6 +96,58 @@ void BM_PupRoundTrip(benchmark::State& state) {
                           static_cast<std::int64_t>(state.range(0)) * 8);
 }
 BENCHMARK(BM_PupRoundTrip)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_PupPackUnpack_Mem(benchmark::State& state) {
+  // mem_copyable aggregate: single-pass pack is one constexpr-sized memcpy.
+  MemMsg in{1.5, 2.5, 42};
+  std::vector<std::byte> buf;
+  for (auto _ : state) {
+    buf.clear();
+    pup::pack_append(buf, in);
+    MemMsg out;
+    pup::from_bytes(buf.data(), buf.size(), out);
+    benchmark::DoNotOptimize(out.c);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(sizeof(MemMsg)));
+}
+BENCHMARK(BM_PupPackUnpack_Mem);
+
+void BM_PupPackUnpack_Strings(benchmark::State& state) {
+  // Length-prefixed variable-size fields: the devirtualized walk still packs
+  // in one pass (no separate Sizer traversal).
+  StringMsg in;
+  in.name = "a-reasonably-long-entry-method-label";
+  for (int i = 0; i < 8; ++i) in.tags.push_back("tag-" + std::to_string(i));
+  std::vector<std::byte> buf;
+  for (auto _ : state) {
+    buf.clear();
+    pup::pack_append(buf, in);
+    StringMsg out;
+    pup::from_bytes(buf.data(), buf.size(), out);
+    benchmark::DoNotOptimize(out.tags.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PupPackUnpack_Strings);
+
+void BM_PupPackUnpack_Nested(benchmark::State& state) {
+  NestedMsg in;
+  in.rows.assign(16, std::vector<double>(static_cast<std::size_t>(state.range(0)), 2.5));
+  std::vector<std::byte> buf;
+  for (auto _ : state) {
+    buf.clear();
+    pup::pack_append(buf, in);
+    NestedMsg out;
+    pup::from_bytes(buf.data(), buf.size(), out);
+    benchmark::DoNotOptimize(out.rows.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 16 *
+                          static_cast<std::int64_t>(state.range(0)) * 8);
+}
+BENCHMARK(BM_PupPackUnpack_Nested)->Arg(16)->Arg(256);
 
 void BM_MachineEventRate(benchmark::State& state) {
   for (auto _ : state) {
@@ -54,11 +165,6 @@ void BM_MachineEventRate(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 1500);
 }
 BENCHMARK(BM_MachineEventRate);
-
-struct Msg {
-  int v = 0;
-  void pup(pup::Er& p) { p | v; }
-};
 
 class Sink : public ArrayElement<Sink, std::int32_t> {
  public:
@@ -108,6 +214,32 @@ void BM_PointSendDeliver(benchmark::State& state) {
       benchmark::Counter(static_cast<double>(pool.misses()));
 }
 BENCHMARK(BM_PointSendDeliver);
+
+void BM_LocalSendDeliver(benchmark::State& state) {
+  // Same-PE steady state: every send takes the typed fast path — the
+  // argument moves through an in-flight slot, nothing is packed or unpacked,
+  // and no heap allocation happens after warm-up.  Virtual-time charges and
+  // reported byte counts are identical to the packed path.
+  sim::Machine m(sim::MachineConfig{1, {}, 4});
+  Runtime rt(m);
+  auto arr = ArrayProxy<Sink>::create(rt);
+  for (int i = 0; i < 64; ++i) arr.seed(i, 0);
+  auto drive = [&] {
+    rt.on_pe(0, [&] {
+      for (int i = 0; i < 1000; ++i) arr[i % 64].send<&Sink::take>(Msg{i});
+    });
+    m.run();
+  };
+  drive();  // warm the event arena and closure block cache
+  for (auto _ : state) drive();
+  state.SetItemsProcessed(state.iterations() * 1000);
+  const PayloadPool& pool = rt.payload_pool();
+  state.counters["payload_pool_hits"] =
+      benchmark::Counter(static_cast<double>(pool.hits()));
+  state.counters["payload_pool_misses"] =
+      benchmark::Counter(static_cast<double>(pool.misses()));
+}
+BENCHMARK(BM_LocalSendDeliver);
 
 class Contrib : public ArrayElement<Contrib, std::int32_t> {
  public:
@@ -165,4 +297,17 @@ BENCHMARK(BM_TramAggregationFactor)->Arg(1)->Arg(16)->Arg(64)->Arg(256);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Like BENCHMARK_MAIN(), but also accepts the figure benches' --smoke flag
+// (mapped to a minimal-time run) so CI can invoke every bench uniformly.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  std::string min_time = "--benchmark_min_time=0.01";
+  for (char*& a : args)
+    if (std::string_view(a) == "--smoke") a = min_time.data();
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

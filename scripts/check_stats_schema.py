@@ -112,6 +112,11 @@ def check_micro(doc, raw):
                    all(isinstance(v, (int, float)) and not isinstance(v, bool)
                        for v in b["counters"].values()),
                    f"{where}.counters: expected numeric values")
+            for k, v in b["counters"].items():
+                if k.startswith("payload_pool_"):
+                    expect(v >= 0 and float(v).is_integer(),
+                           f"{where}.counters.{k}: expected a nonnegative "
+                           f"integer, got {v!r}")
     check_byte_form(raw)
 
 

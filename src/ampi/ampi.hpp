@@ -50,7 +50,7 @@ class Comm {
   void send(int dst, int tag, std::vector<std::byte> data);
   template <class T>
   void send_value(int dst, int tag, const T& v) {
-    send(dst, tag, pup::to_bytes(const_cast<T&>(v)));
+    send(dst, tag, pup::to_bytes(v));
   }
 
   /// Blocking receive with kAnySource / kAnyTag wildcards.
@@ -120,7 +120,8 @@ struct Wire {
   int src = 0;
   int tag = 0;
   std::vector<std::byte> data;
-  void pup(pup::Er& p) {
+  template <class P>
+  void pup(P& p) {
     p | src;
     p | tag;
     p | data;
@@ -129,7 +130,10 @@ struct Wire {
 
 struct StartMsg {
   int dummy = 0;
-  void pup(pup::Er& p) { p | dummy; }
+  template <class P>
+  void pup(P& p) {
+    p | dummy;
+  }
 };
 
 /// The rank chare.  Public only because the registry needs the type; user

@@ -71,7 +71,10 @@ BitIndex face_neighbor(const BitIndex& ix, int dim, int dir);
 
 struct StepMsg {
   int steps = 0;
-  void pup(pup::Er& p) { p | steps; }
+  template <class P>
+  void pup(P& p) {
+    p | steps;
+  }
 };
 
 struct FaceMsg {
@@ -81,7 +84,8 @@ struct FaceMsg {
   std::uint64_t sender_bits = 0;
   int n = 0;               ///< face is n x n at sender resolution
   std::vector<double> plane;
-  void pup(pup::Er& p) {
+  template <class P>
+  void pup(P& p) {
     p | step;
     p | dim;
     p | sender_depth;
@@ -95,7 +99,8 @@ struct DesireMsg {
   std::uint8_t from_depth = 0;
   std::uint64_t from_bits = 0;
   int delta = 0;  ///< wanted level change (-1, 0, +1)
-  void pup(pup::Er& p) {
+  template <class P>
+  void pup(P& p) {
     p | from_depth;
     p | from_bits;
     p | delta;
@@ -106,7 +111,8 @@ struct DecisionMsg {
   std::uint8_t from_depth = 0;
   std::uint64_t from_bits = 0;
   int delta = 0;  ///< final level change
-  void pup(pup::Er& p) {
+  template <class P>
+  void pup(P& p) {
     p | from_depth;
     p | from_bits;
     p | delta;
@@ -121,7 +127,8 @@ struct ChildCtorMsg {
   int step = 0;
   std::array<std::int8_t, 6> face_rel{};
   std::vector<double> field;  ///< B^3, already interpolated for this child
-  void pup(pup::Er& p) {
+  template <class P>
+  void pup(P& p) {
     p | params;
     p | col;
     p | depth;
@@ -136,7 +143,8 @@ struct ChildDataMsg {
   int octant = 0;
   std::array<std::int8_t, 6> face_rel{};  ///< child's external face levels
   std::vector<double> field;              ///< child's B^3 field
-  void pup(pup::Er& p) {
+  template <class P>
+  void pup(P& p) {
     p | octant;
     p | face_rel;
     p | field;
@@ -247,4 +255,11 @@ class Mesh {
 };
 
 }  // namespace charm::amr
+
+namespace pup {
+template <>
+struct MemCopyable<charm::amr::StepMsg> : std::true_type {
+  static constexpr std::size_t kFieldBytes = sizeof(int);
+};
+}  // namespace pup
 

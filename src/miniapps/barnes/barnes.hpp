@@ -55,13 +55,17 @@ struct PieceSummary {
 
 struct StartMsg {
   int dummy = 0;
-  void pup(pup::Er& p) { p | dummy; }
+  template <class P>
+  void pup(P& p) {
+    p | dummy;
+  }
 };
 
 struct BodiesMsg {
   std::int32_t from = -1;
   std::vector<Body> bodies;
-  void pup(pup::Er& p) {
+  template <class P>
+  void pup(P& p) {
     p | from;
     p | bodies;
   }
@@ -69,17 +73,18 @@ struct BodiesMsg {
 
 struct SummariesMsg {
   std::vector<PieceSummary> all;
-  void pup(pup::Er& p) {
-    std::uint64_t n = all.size();
-    p | n;
-    if (p.unpacking()) all.resize(static_cast<std::size_t>(n));
-    pup::PUParray(p, all.data(), all.size());
+  template <class P>
+  void pup(P& p) {
+    p | all;
   }
 };
 
 struct RequestMsg {
   std::int32_t from = -1;
-  void pup(pup::Er& p) { p | from; }
+  template <class P>
+  void pup(P& p) {
+    p | from;
+  }
 };
 
 class Piece : public charm::ArrayElement<Piece, std::int32_t> {
@@ -166,4 +171,12 @@ template <>
 struct AsBytes<charm::barnes::Body> : std::true_type {};
 template <>
 struct AsBytes<charm::barnes::PieceSummary> : std::true_type {};
+template <>
+struct MemCopyable<charm::barnes::StartMsg> : std::true_type {
+  static constexpr std::size_t kFieldBytes = sizeof(int);
+};
+template <>
+struct MemCopyable<charm::barnes::RequestMsg> : std::true_type {
+  static constexpr std::size_t kFieldBytes = sizeof(std::int32_t);
+};
 }  // namespace pup

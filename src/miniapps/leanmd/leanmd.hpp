@@ -43,14 +43,18 @@ struct Atom {
 
 struct StartMsg {
   int steps = 1;
-  void pup(pup::Er& p) { p | steps; }
+  template <class P>
+  void pup(P& p) {
+    p | steps;
+  }
 };
 
 struct PositionsMsg {
   std::int16_t from[3] = {0, 0, 0};  ///< which cell these atoms belong to
   int step = 0;
   std::vector<Atom> atoms;
-  void pup(pup::Er& p) {
+  template <class P>
+  void pup(P& p) {
     pup::PUParray(p, from, 3);
     p | step;
     p | atoms;
@@ -60,7 +64,8 @@ struct PositionsMsg {
 struct ForcesMsg {
   int step = 0;
   std::vector<double> f;  ///< 3 per atom, in the cell's atom order
-  void pup(pup::Er& p) {
+  template <class P>
+  void pup(P& p) {
     p | step;
     p | f;
   }
@@ -69,7 +74,8 @@ struct ForcesMsg {
 struct AtomsMsg {
   int step = 0;
   std::vector<Atom> atoms;
-  void pup(pup::Er& p) {
+  template <class P>
+  void pup(P& p) {
     p | step;
     p | atoms;
   }
@@ -182,4 +188,8 @@ template <>
 struct AsBytes<charm::leanmd::Params> : std::true_type {};
 template <>
 struct AsBytes<charm::leanmd::Atom> : std::true_type {};
+template <>
+struct MemCopyable<charm::leanmd::StartMsg> : std::true_type {
+  static constexpr std::size_t kFieldBytes = sizeof(int);
+};
 }  // namespace pup

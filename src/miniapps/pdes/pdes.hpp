@@ -31,12 +31,18 @@ struct Params {
 
 struct EventMsg {
   double ts = 0;
-  void pup(pup::Er& p) { p | ts; }
+  template <class P>
+  void pup(P& p) {
+    p | ts;
+  }
 };
 
 struct WindowMsg {
   double gvt = 0;
-  void pup(pup::Er& p) { p | gvt; }
+  template <class P>
+  void pup(P& p) {
+    p | gvt;
+  }
 };
 
 class Lp : public charm::ArrayElement<Lp, std::int32_t> {
@@ -94,4 +100,12 @@ class Engine {
 namespace pup {
 template <>
 struct AsBytes<charm::pdes::Params> : std::true_type {};
+template <>
+struct MemCopyable<charm::pdes::EventMsg> : std::true_type {
+  static constexpr std::size_t kFieldBytes = sizeof(double);
+};
+template <>
+struct MemCopyable<charm::pdes::WindowMsg> : std::true_type {
+  static constexpr std::size_t kFieldBytes = sizeof(double);
+};
 }  // namespace pup

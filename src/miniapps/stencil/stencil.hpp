@@ -26,14 +26,18 @@ struct Params {
 
 struct StartMsg {
   int iters = 1;
-  void pup(pup::Er& p) { p | iters; }
+  template <class P>
+  void pup(P& p) {
+    p | iters;
+  }
 };
 
 struct GhostMsg {
   int iter = 0;
   int side = 0;  ///< 0=left 1=right 2=down 3=up, from the RECEIVER's view
   std::vector<double> strip;
-  void pup(pup::Er& p) {
+  template <class P>
+  void pup(P& p) {
     p | iter;
     p | side;
     p | strip;
@@ -99,4 +103,8 @@ class Sim {
 namespace pup {
 template <>
 struct AsBytes<charm::stencil::Params> : std::true_type {};
+template <>
+struct MemCopyable<charm::stencil::StartMsg> : std::true_type {
+  static constexpr std::size_t kFieldBytes = sizeof(int);
+};
 }  // namespace pup

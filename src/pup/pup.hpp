@@ -10,6 +10,18 @@
 //     int foo; std::array<float, 32> bar;
 //     void pup(pup::Er& p) { p | foo; p | bar; }
 //   };
+//
+// Dispatch is devirtualized: every `operator|` is templated on the concrete
+// serializer, so a caller holding a Sizer/Packer/Unpacker (all final) gets a
+// fully inlined field walk with zero virtual calls.  Writing the member as
+//   template <class P> void pup(P& p) { ... }
+// extends that through user types.  The `pup::Er&` spelling keeps working
+// unchanged — it is the virtual compatibility shim, still required where the
+// serializer is only known at runtime (the polymorphic chare migration walk).
+//
+// Types whose packed image is bit-identical to their object representation
+// can skip the walk entirely (see MemCopyable below): size is a constant and
+// pack/unpack collapse to one memcpy.
 
 #include <array>
 #include <cstddef>
@@ -68,7 +80,9 @@ class Sizer final : public Er {
   std::size_t size_ = 0;
 };
 
-/// Pass 2: appends the object's bytes to an owned buffer.
+/// Pass 2: appends the object's bytes to an owned buffer.  With the
+/// devirtualized walk this is also the *sizing* pass — the buffer grows in
+/// place, so callers pack in a single pass instead of Sizer-then-Packer.
 class Packer final : public Er {
  public:
   explicit Packer(std::vector<std::byte>& out) : Er(Mode::kPacking), out_(out) {}
@@ -106,29 +120,34 @@ class Unpacker final : public Er {
 
 // ---- dispatch -------------------------------------------------------------
 
-template <class T>
-concept HasPupMethod = requires(T& t, Er& p) { t.pup(p); };
+/// Any of the PUP serializers: the concrete (devirtualized) ones or Er itself.
+template <class P>
+concept Serializer = std::derived_from<std::remove_cv_t<P>, Er>;
+
+template <class T, class P = Er>
+concept HasPupMethod = requires(T& t, P& p) { t.pup(p); };
 
 template <class T>
 concept RawPuppable =
     std::is_arithmetic_v<std::remove_cv_t<T>> || std::is_enum_v<std::remove_cv_t<T>> ||
     AsBytes<std::remove_cv_t<T>>::value;
 
-template <RawPuppable T>
-inline Er& operator|(Er& p, T& v) {
+template <Serializer P, RawPuppable T>
+inline P& operator|(P& p, T& v) {
   p.bytes(const_cast<std::remove_cv_t<T>*>(&v), sizeof(T));
   return p;
 }
 
-template <HasPupMethod T>
-inline Er& operator|(Er& p, T& v) {
+template <Serializer P, class T>
+  requires(!RawPuppable<T> && HasPupMethod<T, P>)
+inline P& operator|(P& p, T& v) {
   v.pup(p);
   return p;
 }
 
 /// Charm++-style helper for C arrays of puppable elements.
-template <class T>
-inline void PUParray(Er& p, T* arr, std::size_t n) {
+template <Serializer P, class T>
+inline void PUParray(P& p, T* arr, std::size_t n) {
   if constexpr (RawPuppable<T>) {
     p.bytes(arr, n * sizeof(T));
   } else {
@@ -136,9 +155,64 @@ inline void PUParray(Er& p, T* arr, std::size_t n) {
   }
 }
 
+// ---- mem_copyable: whole-object memcpy fast path ---------------------------
+
+/// Opt-in for aggregates whose PUP walk is provably equivalent to one memcpy
+/// of the whole object.  The specialization must carry the sum of the sizes
+/// of the fields the walk visits, in walk order:
+///
+///   struct Vec3 { double x, y, z;
+///                 template <class P> void pup(P& p) { p | x; p | y; p | z; } };
+///   template <> struct pup::MemCopyable<Vec3> : std::true_type {
+///     static constexpr std::size_t kFieldBytes = 3 * sizeof(double);
+///   };
+///
+/// kFieldBytes is the padding-free proof: the opt-in is rejected at compile
+/// time unless sizeof(T) == kFieldBytes, because padding bytes are *excluded*
+/// from the packed walk (each field is emitted back to back) while a memcpy
+/// would include them — the two images would disagree.  Field order must
+/// match declaration order; the round-trip equivalence tests enforce that.
+template <class T>
+struct MemCopyable : std::false_type {};
+
+namespace detail {
+
+template <class T>
+consteval bool mem_copyable_opt_in() {
+  if constexpr (MemCopyable<T>::value) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "pup::MemCopyable opt-in requires a trivially copyable type");
+    static_assert(sizeof(T) == MemCopyable<T>::kFieldBytes,
+                  "pup::MemCopyable opt-in has padding: sizeof(T) != sum of "
+                  "field sizes, so a memcpy would not match the PUP walk");
+    return true;
+  } else {
+    return false;
+  }
+}
+
+/// Sizing and packing only read the value; the const_cast that the Er-based
+/// walk needs (its signatures are mutable for the unpack direction) is
+/// confined to this one place.
+template <class T>
+inline T& mutable_ref(const T& v) {
+  return const_cast<T&>(v);
+}
+
+}  // namespace detail
+
+/// True when size/pack/unpack of T collapse to a constexpr-size memcpy.
+/// RawPuppable types qualify automatically — their walk already is a single
+/// bytes(sizeof(T)) call, so the memcpy image is identical by construction.
+/// Aggregates qualify by specializing MemCopyable (padding proof above).
+template <class T>
+inline constexpr bool mem_copyable =
+    RawPuppable<T> || detail::mem_copyable_opt_in<std::remove_cv_t<T>>();
+
 // ---- standard library support ---------------------------------------------
 
-inline Er& operator|(Er& p, std::string& s) {
+template <Serializer P>
+inline P& operator|(P& p, std::string& s) {
   std::uint64_t n = s.size();
   p | n;
   if (p.unpacking()) s.resize(static_cast<std::size_t>(n));
@@ -146,8 +220,8 @@ inline Er& operator|(Er& p, std::string& s) {
   return p;
 }
 
-template <class T>
-Er& operator|(Er& p, std::vector<T>& v) {
+template <Serializer P, class T>
+P& operator|(P& p, std::vector<T>& v) {
   std::uint64_t n = v.size();
   p | n;
   if (p.unpacking()) v.resize(static_cast<std::size_t>(n));
@@ -155,7 +229,8 @@ Er& operator|(Er& p, std::vector<T>& v) {
   return p;
 }
 
-inline Er& operator|(Er& p, std::vector<bool>& v) {
+template <Serializer P>
+inline P& operator|(P& p, std::vector<bool>& v) {
   std::uint64_t n = v.size();
   p | n;
   if (p.unpacking()) v.resize(static_cast<std::size_t>(n));
@@ -167,21 +242,21 @@ inline Er& operator|(Er& p, std::vector<bool>& v) {
   return p;
 }
 
-template <class T, std::size_t N>
-Er& operator|(Er& p, std::array<T, N>& a) {
+template <Serializer P, class T, std::size_t N>
+P& operator|(P& p, std::array<T, N>& a) {
   PUParray(p, a.data(), N);
   return p;
 }
 
-template <class A, class B>
-Er& operator|(Er& p, std::pair<A, B>& pr) {
+template <Serializer P, class A, class B>
+P& operator|(P& p, std::pair<A, B>& pr) {
   p | pr.first;
   p | pr.second;
   return p;
 }
 
-template <class T>
-Er& operator|(Er& p, std::optional<T>& o) {
+template <Serializer P, class T>
+P& operator|(P& p, std::optional<T>& o) {
   std::uint8_t has = o.has_value() ? 1 : 0;
   p | has;
   if (p.unpacking()) {
@@ -197,8 +272,8 @@ Er& operator|(Er& p, std::optional<T>& o) {
   return p;
 }
 
-template <class T>
-Er& operator|(Er& p, std::deque<T>& d) {
+template <Serializer P, class T>
+P& operator|(P& p, std::deque<T>& d) {
   std::uint64_t n = d.size();
   p | n;
   if (p.unpacking()) d.resize(static_cast<std::size_t>(n));
@@ -208,8 +283,8 @@ Er& operator|(Er& p, std::deque<T>& d) {
 
 namespace detail {
 // Associative containers: pack as (count, k, v, k, v, ...).
-template <class Map>
-Er& pup_map(Er& p, Map& m) {
+template <Serializer P, class Map>
+P& pup_map(P& p, Map& m) {
   std::uint64_t n = m.size();
   p | n;
   if (p.unpacking()) {
@@ -230,8 +305,8 @@ Er& pup_map(Er& p, Map& m) {
   return p;
 }
 
-template <class SetT>
-Er& pup_set(Er& p, SetT& s) {
+template <Serializer P, class SetT>
+P& pup_set(P& p, SetT& s) {
   std::uint64_t n = s.size();
   p | n;
   if (p.unpacking()) {
@@ -248,37 +323,68 @@ Er& pup_set(Er& p, SetT& s) {
 }
 }  // namespace detail
 
-template <class K, class V, class C, class A>
-Er& operator|(Er& p, std::map<K, V, C, A>& m) { return detail::pup_map(p, m); }
-template <class K, class V, class H, class E, class A>
-Er& operator|(Er& p, std::unordered_map<K, V, H, E, A>& m) { return detail::pup_map(p, m); }
-template <class K, class C, class A>
-Er& operator|(Er& p, std::set<K, C, A>& s) { return detail::pup_set(p, s); }
-template <class K, class H, class E, class A>
-Er& operator|(Er& p, std::unordered_set<K, H, E, A>& s) { return detail::pup_set(p, s); }
+template <Serializer P, class K, class V, class C, class A>
+P& operator|(P& p, std::map<K, V, C, A>& m) { return detail::pup_map(p, m); }
+template <Serializer P, class K, class V, class H, class E, class A>
+P& operator|(P& p, std::unordered_map<K, V, H, E, A>& m) { return detail::pup_map(p, m); }
+template <Serializer P, class K, class C, class A>
+P& operator|(P& p, std::set<K, C, A>& s) { return detail::pup_set(p, s); }
+template <Serializer P, class K, class H, class E, class A>
+P& operator|(P& p, std::unordered_set<K, H, E, A>& s) { return detail::pup_set(p, s); }
 
 // ---- convenience round-trip helpers ----------------------------------------
+//
+// All take the value by const reference (sizing/packing only read it) and all
+// use the single-pass fast path: mem_copyable types never walk at all, and
+// dynamic types pack with grow-in-place appends instead of a separate Sizer
+// pass.  The byte images are identical to the virtual Er walk — the
+// fast-vs-legacy equivalence tests pin that down for every pup'd type.
 
 template <class T>
-std::size_t size_of(T& v) {
-  Sizer s;
-  s | v;
-  return s.size();
+constexpr std::size_t size_of(const T& v) {
+  if constexpr (mem_copyable<T>) {
+    return sizeof(T);
+  } else {
+    Sizer s;
+    s | detail::mutable_ref(v);
+    return s.size();
+  }
+}
+
+/// Packs `v` at the end of `out` in one pass (no separate sizing walk).
+template <class T>
+void pack_append(std::vector<std::byte>& out, const T& v) {
+  if constexpr (mem_copyable<T>) {
+    const std::size_t at = out.size();
+    out.resize(at + sizeof(T));
+    std::memcpy(out.data() + at, &v, sizeof(T));
+  } else {
+    Packer pk(out);
+    pk | detail::mutable_ref(v);
+  }
 }
 
 template <class T>
-std::vector<std::byte> to_bytes(T& v) {
+std::vector<std::byte> to_bytes(const T& v) {
   std::vector<std::byte> out;
-  out.reserve(size_of(v));
-  Packer pk(out);
-  pk | v;
+  pack_append(out, v);
   return out;
 }
 
 template <class T>
+void from_bytes(const std::byte* data, std::size_t size, T& v) {
+  if constexpr (mem_copyable<T>) {
+    if (size < sizeof(T)) throw std::out_of_range("pup::from_bytes: buffer underrun");
+    std::memcpy(&v, data, sizeof(T));
+  } else {
+    Unpacker u(data, size);
+    u | v;
+  }
+}
+
+template <class T>
 void from_bytes(const std::vector<std::byte>& buf, T& v) {
-  Unpacker u(buf);
-  u | v;
+  from_bytes(buf.data(), buf.size(), v);
 }
 
 template <class T>

@@ -25,7 +25,8 @@ struct ReductionResult {
 
   double num(std::size_t i = 0) const { return i < nums.size() ? nums[i] : 0.0; }
 
-  void pup(pup::Er& p) {
+  template <class P>
+  void pup(P& p) {
     p | nums;
     std::uint64_t n = chunks.size();
     p | n;

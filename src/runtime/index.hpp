@@ -21,7 +21,8 @@ struct ObjIndex {
   std::uint64_t a = 0;
   std::uint64_t b = 0;
   friend bool operator==(const ObjIndex&, const ObjIndex&) = default;
-  void pup(pup::Er& p) {
+  template <class P>
+  void pup(P& p) {
     p | a;
     p | b;
   }
@@ -115,6 +116,11 @@ std::string to_string(const ObjIndex& i);
 }  // namespace charm
 
 namespace pup {
+/// Two uint64 fields, no padding: a single memcpy is the exact field walk.
+template <>
+struct MemCopyable<charm::ObjIndex> : std::true_type {
+  static constexpr std::size_t kFieldBytes = 2 * sizeof(std::uint64_t);
+};
 template <>
 struct AsBytes<charm::Index2D> : std::true_type {};
 template <>

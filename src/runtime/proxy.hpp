@@ -25,14 +25,23 @@ class ElementRef {
   ElementRef(CollectionId col, Ix ix) : col_(col), ix_(ix) {}
 
   /// Asynchronously invoke entry method `Mfp` with a pup-able argument.
-  template <auto Mfp, class Arg>
-  void send(const Arg& arg, int priority = kDefaultPriority) const {
-    static_assert(
-        std::is_same_v<typename detail::MfpTraits<decltype(Mfp)>::Argument, Arg>,
-        "argument type must match the entry method parameter");
-    Runtime& rt = Runtime::current();
-    rt.send_point(col_, IndexTraits<Ix>::encode(ix_), Registry::entry_of<Mfp>(),
-                  rt.pack_pooled(const_cast<Arg&>(arg)), priority);
+  /// Same-PE destinations take the typed fast path (no pack/unpack); an
+  /// rvalue argument is moved all the way into the delivery slot.
+  template <auto Mfp>
+  void send(const typename detail::MfpTraits<decltype(Mfp)>::Argument& arg,
+            int priority = kDefaultPriority) const {
+    Runtime::current().send_typed(col_, IndexTraits<Ix>::encode(ix_),
+                                  Registry::entry_of<Mfp>(),
+                                  Registry::direct_invoker<Mfp>(), arg, priority);
+  }
+
+  template <auto Mfp>
+  void send(typename detail::MfpTraits<decltype(Mfp)>::Argument&& arg,
+            int priority = kDefaultPriority) const {
+    Runtime::current().send_typed(col_, IndexTraits<Ix>::encode(ix_),
+                                  Registry::entry_of<Mfp>(),
+                                  Registry::direct_invoker<Mfp>(), std::move(arg),
+                                  priority);
   }
 
   /// Asynchronously invoke a no-argument entry method.
@@ -52,7 +61,8 @@ class ElementRef {
   Ix index() const { return ix_; }
   CollectionId collection_id() const { return col_; }
 
-  void pup(pup::Er& p) {
+  template <class P>
+  void pup(P& p) {
     p | col_;
     ObjIndex o = IndexTraits<Ix>::encode(ix_);
     p | o;
@@ -96,15 +106,14 @@ class ArrayProxy {
               int priority = kDefaultPriority) const {
     Runtime& rt = Runtime::current();
     rt.insert_element(col_, IndexTraits<Ix>::encode(ix),
-                      Registry::creator_of<C, Arg>(),
-                      rt.pack_pooled(const_cast<Arg&>(ctor_arg)), pe_hint,
-                      priority);
+                      Registry::creator_of<C, Arg>(), rt.pack_pooled(ctor_arg),
+                      pe_hint, priority);
   }
 
   template <auto Mfp, class Arg>
   void broadcast(const Arg& arg, int priority = kDefaultPriority) const {
     Runtime::current().broadcast(col_, Registry::entry_of<Mfp>(),
-                                 pup::to_bytes(const_cast<Arg&>(arg)), priority);
+                                 pup::to_bytes(arg), priority);
   }
 
   template <auto Mfp>
@@ -121,7 +130,10 @@ class ArrayProxy {
   CollectionId id() const { return col_; }
   bool valid() const { return col_ >= 0; }
 
-  void pup(pup::Er& p) { p | col_; }
+  template <class P>
+  void pup(P& p) {
+    p | col_;
+  }
 
  private:
   CollectionId col_ = -1;
@@ -157,7 +169,7 @@ class GroupProxy {
   template <auto Mfp, class Arg>
   void broadcast(const Arg& arg, int priority = kDefaultPriority) const {
     Runtime::current().broadcast(col_, Registry::entry_of<Mfp>(),
-                                 pup::to_bytes(const_cast<Arg&>(arg)), priority);
+                                 pup::to_bytes(arg), priority);
   }
 
   template <auto Mfp>
@@ -166,7 +178,10 @@ class GroupProxy {
   }
 
   CollectionId id() const { return col_; }
-  void pup(pup::Er& p) { p | col_; }
+  template <class P>
+  void pup(P& p) {
+    p | col_;
+  }
 
  private:
   CollectionId col_ = -1;

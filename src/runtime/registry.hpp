@@ -42,6 +42,11 @@ struct EntryInfo {
   void (*invoke)(ArrayElementBase*, pup::Unpacker&) = nullptr;
 };
 
+/// Typed entry invoker used by the same-PE fast path: downcasts and calls the
+/// member function directly — no unpacker, no type erasure of the argument.
+template <class Arg>
+using DirectInvoker = void (*)(ArrayElementBase*, const Arg&);
+
 struct CreatorInfo {
   ChareTypeId type = -1;
   ArrayElementBase* (*create)(pup::Unpacker&) = nullptr;
@@ -69,6 +74,17 @@ class Registry {
     static const EntryId id = instance().add_entry(
         EntryInfo{type_of<typename Traits::Chare>(), &invoke_entry<Mfp>});
     return id;
+  }
+
+  /// Companion to entry_of: the typed invoker for Mfp (argument-taking entry
+  /// methods only — no-arg sends keep the packed path's empty payload).
+  template <auto Mfp>
+  static auto direct_invoker() {
+    using Traits = detail::MfpTraits<decltype(Mfp)>;
+    using Arg = typename Traits::Argument;
+    return DirectInvoker<Arg>([](ArrayElementBase* obj, const Arg& arg) {
+      (static_cast<typename Traits::Chare*>(obj)->*Mfp)(arg);
+    });
   }
 
   template <class C, class Arg>

@@ -109,9 +109,18 @@ void Runtime::launch_envelope(Envelope env, int dst, bool count) {
       /*src_override=*/0);
 }
 
-void Runtime::send_point(CollectionId col, ObjIndex idx, EntryId ep,
-                         std::vector<std::byte> payload, int priority) {
-  Collection& c = collection(col);
+int Runtime::route_point(Collection& c, const ObjIndex& idx, int src_pe) {
+  if (c.is_group) return static_cast<int>(IndexTraits<std::int32_t>::decode(idx));
+  const int sp = src_pe >= 0 ? src_pe : 0;
+  if (c.find(sp, idx) != nullptr) return sp;
+  const auto& cache = c.local(sp).loc_cache;
+  auto it = cache.find(idx);
+  return it != cache.end() ? it->second : home_pe(idx);
+}
+
+void Runtime::send_point_to(CollectionId col, ObjIndex idx, EntryId ep,
+                            std::vector<std::byte> payload, int priority,
+                            int src_pe, int dst) {
   Envelope env;
   env.kind = Envelope::Kind::kPoint;
   env.col = col;
@@ -119,27 +128,38 @@ void Runtime::send_point(CollectionId col, ObjIndex idx, EntryId ep,
   env.ep = ep;
   env.priority = priority;
   env.payload = std::move(payload);
-  env.src_pe = machine_.in_handler() ? machine_.current_pe() : kInvalidPe;
+  env.src_pe = src_pe;
   if (exec_elem_ != nullptr) {
     env.src_col = exec_elem_->col_;
     env.src_idx = exec_elem_->idx_;
     env.has_src_elem = true;
   }
-
-  int dst;
-  if (c.is_group) {
-    dst = static_cast<int>(IndexTraits<std::int32_t>::decode(idx));
-  } else {
-    const int sp = env.src_pe >= 0 ? env.src_pe : 0;
-    if (c.find(sp, idx) != nullptr) {
-      dst = sp;
-    } else {
-      const auto& cache = c.local(sp).loc_cache;
-      auto it = cache.find(idx);
-      dst = it != cache.end() ? it->second : home_pe(idx);
-    }
-  }
   launch_envelope(std::move(env), dst);
+}
+
+void Runtime::send_point(CollectionId col, ObjIndex idx, EntryId ep,
+                         std::vector<std::byte> payload, int priority) {
+  Collection& c = collection(col);
+  const int src_pe = machine_.in_handler() ? machine_.current_pe() : kInvalidPe;
+  const int dst = route_point(c, idx, src_pe);
+  send_point_to(col, idx, ep, std::move(payload), priority, src_pe, dst);
+}
+
+void Runtime::typed_miss(CollectionId col, ObjIndex idx, EntryId ep, int priority,
+                         std::vector<std::byte> payload, CollectionId src_col,
+                         ObjIndex src_idx, bool has_src, int pe) {
+  Envelope env;
+  env.kind = Envelope::Kind::kPoint;
+  env.col = col;
+  env.idx = idx;
+  env.ep = ep;
+  env.priority = priority;
+  env.payload = std::move(payload);
+  env.src_pe = pe;  // the typed slot only exists when sender == destination
+  env.src_col = src_col;
+  env.src_idx = src_idx;
+  env.has_src_elem = has_src;
+  handle_point_miss(std::move(env), pe);
 }
 
 void Runtime::on_envelope(Envelope env) {
@@ -175,15 +195,7 @@ void Runtime::deliver_here(Envelope env, int pe) {
   const EntryInfo& einfo = Registry::instance().entry(env.ep);
   pup::Unpacker u(env.payload);
 
-  // Save/restore execution context so nested deliveries (broadcast legs,
-  // TRAM batch delivery) instrument correctly.
-  ArrayElementBase* prev_elem = exec_elem_;
-  const bool prev_destroy = exec_destroy_requested_;
-  const int prev_migrate = exec_migrate_to_;
-  exec_elem_ = elem;
-  exec_destroy_requested_ = false;
-  exec_migrate_to_ = kInvalidPe;
-
+  ExecFrame f = begin_exec(*elem);
   const double t0 = machine_.handler_elapsed();
   einfo.invoke(elem, u);
   const double dt = machine_.handler_elapsed() - t0;
@@ -193,39 +205,22 @@ void Runtime::deliver_here(Envelope env, int pe) {
     tr->entry(pe, env.col, env.ep, end - dt, end);
   }
 
-  const bool do_destroy = exec_destroy_requested_;
-  const int mig = exec_migrate_to_;
-  exec_elem_ = prev_elem;
-  exec_destroy_requested_ = prev_destroy;
-  exec_migrate_to_ = prev_migrate;
-
   // The payload was fully consumed by the entry invocation above; recycle
   // its capacity before the (rare) destroy/migrate epilogue.
   release_payload(std::move(env.payload));
-
-  if (do_destroy) {
-    destroy_local(env.col, env.idx, pe);
-  } else if (mig != kInvalidPe && mig != pe) {
-    perform_migration(env.col, env.idx, mig);
-  }
+  end_exec(f, env.col, env.idx, pe);
 }
 
 void Runtime::deliver_local(Collection& c, ArrayElementBase& elem, EntryId ep,
-                            const std::vector<std::byte>& payload) {
+                            const std::byte* data, std::size_t size) {
   const EntryInfo& einfo = Registry::instance().entry(ep);
-  pup::Unpacker u(payload.data(), payload.size());
-
-  ArrayElementBase* prev_elem = exec_elem_;
-  const bool prev_destroy = exec_destroy_requested_;
-  const int prev_migrate = exec_migrate_to_;
-  exec_elem_ = &elem;
-  exec_destroy_requested_ = false;
-  exec_migrate_to_ = kInvalidPe;
+  pup::Unpacker u(data, size);
 
   const CollectionId col = elem.col_;
   const ObjIndex idx = elem.idx_;
   const int pe = elem.pe_;
 
+  ExecFrame f = begin_exec(elem);
   const double t0 = machine_.handler_elapsed();
   einfo.invoke(&elem, u);
   const double dt = machine_.handler_elapsed() - t0;
@@ -234,18 +229,7 @@ void Runtime::deliver_local(Collection& c, ArrayElementBase& elem, EntryId ep,
     const double end = machine_.now();
     tr->entry(pe, col, ep, end - dt, end);
   }
-
-  const bool do_destroy = exec_destroy_requested_;
-  const int mig = exec_migrate_to_;
-  exec_elem_ = prev_elem;
-  exec_destroy_requested_ = prev_destroy;
-  exec_migrate_to_ = prev_migrate;
-
-  if (do_destroy) {
-    destroy_local(col, idx, pe);
-  } else if (mig != kInvalidPe && mig != pe) {
-    perform_migration(col, idx, mig);
-  }
+  end_exec(f, col, idx, pe);
   (void)c;
 }
 

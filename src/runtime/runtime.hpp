@@ -23,6 +23,7 @@
 #include "runtime/payload_pool.hpp"
 #include "runtime/registry.hpp"
 #include "sim/machine.hpp"
+#include "trace/trace.hpp"
 
 namespace charm {
 
@@ -91,6 +92,56 @@ class Runtime {
 
   void send_point(CollectionId col, ObjIndex idx, EntryId ep,
                   std::vector<std::byte> payload, int priority = kDefaultPriority);
+
+  /// Typed point send (the proxy layer's entry point).  Routing is identical
+  /// to send_point; when the destination resolves to the sending PE the
+  /// argument travels through a typed in-flight slot — the delivery closure
+  /// itself — instead of a pack/unpack round trip.  The modeled wire size
+  /// (header + packed argument bytes, sized via the constexpr/fused path),
+  /// charges, QD accounting, and trace/stats events are identical to the
+  /// packed path; only host-side work changes.
+  template <class A, class Arg = std::remove_cvref_t<A>>
+  void send_typed(CollectionId col, ObjIndex idx, EntryId ep,
+                  DirectInvoker<Arg> inv, A&& arg, int priority = kDefaultPriority) {
+    Collection& c = collection(col);
+    const int src_pe = machine_.in_handler() ? machine_.current_pe() : kInvalidPe;
+    const int dst = route_point(c, idx, src_pe);
+    if (dst != src_pe) {
+      send_point_to(col, idx, ep, pack_pooled(arg), priority, src_pe, dst);
+      return;
+    }
+    const std::size_t wire = Envelope::kHeaderBytes + pup::size_of(arg);
+    // Source element identity rides along for the (rare) delivery-time miss,
+    // where the argument is packed after all and re-enters the routed path.
+    CollectionId src_col = -1;
+    ObjIndex src_idx{};
+    bool has_src = false;
+    if (exec_elem_ != nullptr) {
+      src_col = exec_elem_->col_;
+      src_idx = exec_elem_->idx_;
+      has_src = true;
+    }
+    ++outstanding_;
+    ++msgs_sent_;
+    bytes_sent_ += wire;
+    machine_.send(
+        dst, wire, priority,
+        [this, col, idx, ep, inv, priority, src_col, src_idx, has_src,
+         arg = Arg(std::forward<A>(arg))]() mutable {
+          const int pe = machine_.current_pe();
+          if (pe_alive(pe)) {
+            Collection& cc = collection(col);
+            if (ArrayElementBase* elem = cc.find(pe, idx)) {
+              deliver_typed(*elem, col, idx, ep, inv, arg, pe);
+            } else {
+              typed_miss(col, idx, ep, priority, pack_pooled(arg), src_col,
+                         src_idx, has_src, pe);
+            }
+          }
+          note_message_done();
+        },
+        /*src_override=*/0);
+  }
 
   void broadcast(CollectionId col, EntryId ep, std::vector<std::byte> payload,
                  int priority = kDefaultPriority);
@@ -171,12 +222,15 @@ class Runtime {
     payload_pool_.release(std::move(buf));
   }
   /// Packs `v` into a pooled payload buffer (the allocation-free analogue of
-  /// pup::to_bytes for the messaging hot path).
+  /// pup::to_bytes for the messaging hot path).  Single pass: mem_copyable
+  /// types are one memcpy; dynamic types pack with grow-in-place appends into
+  /// the recycled buffer (capacity >= PayloadPool::kSmallBytes once warm), so
+  /// the separate Sizer walk is gone.
   template <class T>
-  std::vector<std::byte> pack_pooled(T& v) {
-    std::vector<std::byte> buf = acquire_payload(pup::size_of(v));
-    pup::Packer pk(buf);
-    pk | v;
+  std::vector<std::byte> pack_pooled(const T& v) {
+    std::vector<std::byte> buf =
+        acquire_payload(pup::mem_copyable<T> ? sizeof(T) : PayloadPool::kSmallBytes);
+    pup::pack_append(buf, v);
     return buf;
   }
   const PayloadPool& payload_pool() const { return payload_pool_; }
@@ -188,7 +242,20 @@ class Runtime {
 
   /// Invoke an entry on a *local* element inline (broadcast delivery, TRAM).
   void deliver_local(Collection& c, ArrayElementBase& elem, EntryId ep,
-                     const std::vector<std::byte>& payload);
+                     const std::byte* data, std::size_t size);
+  void deliver_local(Collection& c, ArrayElementBase& elem, EntryId ep,
+                     const std::vector<std::byte>& payload) {
+    deliver_local(c, elem, ep, payload.data(), payload.size());
+  }
+
+  /// Invoke an entry on a *local* element with a typed argument (same-PE TRAM
+  /// delivery): no serialization at all, instrumentation identical.
+  template <class Arg>
+  void deliver_local_typed(Collection& c, ArrayElementBase& elem, EntryId ep,
+                           DirectInvoker<Arg> inv, const Arg& arg) {
+    (void)c;
+    deliver_typed(elem, elem.col_, elem.idx_, ep, inv, arg, elem.pe_);
+  }
 
   /// Removes and returns a local element without any protocol (FT rollback).
   std::unique_ptr<ArrayElementBase> extract_local(CollectionId col, ObjIndex idx, int pe);
@@ -209,6 +276,67 @@ class Runtime {
   void on_envelope(Envelope env);
   void deliver_here(Envelope env, int pe);
   void handle_point_miss(Envelope env, int pe);
+
+  /// Routing decision for a point message, shared by the packed and typed
+  /// send paths: group index decodes to a PE; otherwise local table, then
+  /// location cache, then the home PE.
+  int route_point(Collection& c, const ObjIndex& idx, int src_pe);
+  /// Builds the Envelope (source identity from the execution context) and
+  /// launches it at an already-routed destination.
+  void send_point_to(CollectionId col, ObjIndex idx, EntryId ep,
+                     std::vector<std::byte> payload, int priority, int src_pe,
+                     int dst);
+  /// Delivery-time miss on the typed same-PE path: reconstructs the packed
+  /// envelope and re-enters the location protocol.
+  void typed_miss(CollectionId col, ObjIndex idx, EntryId ep, int priority,
+                  std::vector<std::byte> payload, CollectionId src_col,
+                  ObjIndex src_idx, bool has_src, int pe);
+
+  /// Saved execution context around an entry invocation, so nested deliveries
+  /// (broadcast legs, TRAM batches) instrument correctly.
+  struct ExecFrame {
+    ArrayElementBase* prev_elem;
+    bool prev_destroy;
+    int prev_migrate;
+  };
+  ExecFrame begin_exec(ArrayElementBase& elem) {
+    ExecFrame f{exec_elem_, exec_destroy_requested_, exec_migrate_to_};
+    exec_elem_ = &elem;
+    exec_destroy_requested_ = false;
+    exec_migrate_to_ = kInvalidPe;
+    return f;
+  }
+  /// Restores the context and runs the (rare) destroy/migrate epilogue the
+  /// finished invocation requested.
+  void end_exec(const ExecFrame& f, CollectionId col, const ObjIndex& idx, int pe) {
+    const bool do_destroy = exec_destroy_requested_;
+    const int mig = exec_migrate_to_;
+    exec_elem_ = f.prev_elem;
+    exec_destroy_requested_ = f.prev_destroy;
+    exec_migrate_to_ = f.prev_migrate;
+    if (do_destroy) {
+      destroy_local(col, idx, pe);
+    } else if (mig != kInvalidPe && mig != pe) {
+      perform_migration(col, idx, mig);
+    }
+  }
+
+  /// Invoke an entry with a typed argument: the devirtualized equivalent of
+  /// deliver_here's unpack-and-invoke, with identical instrumentation.
+  template <class Arg>
+  void deliver_typed(ArrayElementBase& elem, CollectionId col, const ObjIndex& idx,
+                     EntryId ep, DirectInvoker<Arg> inv, const Arg& arg, int pe) {
+    ExecFrame f = begin_exec(elem);
+    const double t0 = machine_.handler_elapsed();
+    inv(&elem, arg);
+    const double dt = machine_.handler_elapsed() - t0;
+    elem.lb_load_ += dt;
+    if (trace::Tracer* tr = machine_.tracer()) {
+      const double end = machine_.now();
+      tr->entry(pe, col, ep, end - dt, end);
+    }
+    end_exec(f, col, idx, pe);
+  }
   void destroy_local(CollectionId col, ObjIndex idx, int pe);
   void install_element(CollectionId col, ObjIndex idx,
                        std::unique_ptr<ArrayElementBase> obj, int pe,

@@ -11,7 +11,7 @@
 //     control messages, driver lambdas) live inside the Event itself and are
 //     moved by value when the event heap sifts.
 //   * Larger closures are placed in fixed-size blocks drawn from a
-//     thread-local free list (size classes 128/256/512 bytes).  Blocks are
+//     thread-local free list (size classes 128 B through 2 KiB).  Blocks are
 //     recycled when the closure is destroyed, so the steady state performs
 //     zero heap allocations, and moving a boxed closure is a pointer swap —
 //     heap sifts never copy a large closure.
@@ -34,16 +34,22 @@ namespace sim {
 
 namespace detail {
 
-/// Recycling allocator for closure blocks: three size classes, LIFO free
+/// Recycling allocator for closure blocks: five size classes, LIFO free
 /// lists, bounded retention.  Anything larger falls through to operator new.
 class BlockCache {
  public:
-  static constexpr std::size_t kClassBytes[3] = {128, 256, 512};
+  static constexpr std::size_t kNumClasses = 5;
+  /// The two large classes exist for the typed same-PE send path, whose
+  /// closures embed the message argument by value (zero-allocation guarantee
+  /// covers payloads up to 1 KiB plus capture overhead).
+  static constexpr std::size_t kClassBytes[kNumClasses] = {128, 256, 512, 1024, 2048};
   /// Retention bound per class.  A burst handler can put a few thousand
   /// closures in flight before the first one is destroyed, and the next
-  /// burst should be served entirely from the cache (worst case pinned:
-  /// 4096 * (128+256+512) bytes ≈ 3.5 MiB).
-  static constexpr std::size_t kMaxFreePerClass = 4096;
+  /// burst should be served entirely from the cache.  The large classes
+  /// retain fewer blocks to bound pinned memory (worst case pinned:
+  /// 4096 * (128+256+512) + 2048 * (1024+2048) bytes ≈ 9.5 MiB).
+  static constexpr std::size_t kMaxFreePerClass[kNumClasses] = {4096, 4096, 4096,
+                                                               2048, 2048};
 
   static void* acquire(std::size_t bytes) {
     const int cls = class_of(bytes);
@@ -64,7 +70,7 @@ class BlockCache {
       return;
     }
     auto& list = instance().free_[static_cast<std::size_t>(cls)];
-    if (list.size() >= kMaxFreePerClass) {
+    if (list.size() >= kMaxFreePerClass[static_cast<std::size_t>(cls)]) {
       ::operator delete(p);
       return;
     }
@@ -85,7 +91,7 @@ class BlockCache {
   using Block = std::unique_ptr<void, OpDelete>;
 
   static int class_of(std::size_t bytes) {
-    for (int c = 0; c < 3; ++c)
+    for (int c = 0; c < static_cast<int>(kNumClasses); ++c)
       if (bytes <= kClassBytes[c]) return c;
     return -1;
   }
@@ -94,7 +100,7 @@ class BlockCache {
     return cache;
   }
 
-  std::vector<Block> free_[3];
+  std::vector<Block> free_[kNumClasses];
 };
 
 }  // namespace detail

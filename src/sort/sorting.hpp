@@ -34,13 +34,17 @@ struct SortParams {
 
 struct StartMsg {
   int dummy = 0;
-  void pup(pup::Er& p) { p | dummy; }
+  template <class P>
+  void pup(P& p) {
+    p | dummy;
+  }
 };
 
 struct KeysMsg {
   int from = 0;
   std::vector<std::uint64_t> keys;
-  void pup(pup::Er& p) {
+  template <class P>
+  void pup(P& p) {
     p | from;
     p | keys;
   }
@@ -48,7 +52,10 @@ struct KeysMsg {
 
 struct SplitterMsg {
   std::vector<std::uint64_t> splitters;
-  void pup(pup::Er& p) { p | splitters; }
+  template <class P>
+  void pup(P& p) {
+    p | splitters;
+  }
 };
 
 class Library;
@@ -133,3 +140,10 @@ class Library {
 };
 
 }  // namespace charm::sortlib
+
+namespace pup {
+template <>
+struct MemCopyable<charm::sortlib::StartMsg> : std::true_type {
+  static constexpr std::size_t kFieldBytes = sizeof(int);
+};
+}  // namespace pup

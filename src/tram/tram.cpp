@@ -11,96 +11,140 @@ Core::Core(Runtime& rt, CollectionId target, Params params)
       params_(params),
       pes_(static_cast<std::size_t>(rt.npes())) {}
 
-void Core::insert(const ObjIndex& dest_idx, EntryId ep, std::vector<std::byte> payload) {
-  const int pe = rt_.machine().current_pe();
+int Core::resolve_dest(int pe, const ObjIndex& idx) {
   Collection& c = rt_.collection(col_);
-
-  Item item;
-  item.idx = dest_idx;
-  item.ep = ep;
-  item.payload = std::move(payload);
-  // Destination PE from the sender's location knowledge: local table, cache,
-  // home record (when this PE is the home), else the home PE.
+  if (c.find(pe, idx) != nullptr) return pe;
   const auto& cache = c.local(pe).loc_cache;
-  auto it = cache.find(dest_idx);
-  if (c.find(pe, dest_idx) != nullptr) {
-    item.dest_pe = pe;
-  } else if (it != cache.end()) {
-    item.dest_pe = it->second;
-  } else {
-    item.dest_pe = rt_.home_pe(dest_idx);
-    if (item.dest_pe == pe) {
-      auto hit = c.local(pe).home.find(dest_idx);
-      if (hit != c.local(pe).home.end() && hit->second.location != kInvalidPe)
-        item.dest_pe = hit->second.location;
-    }
+  if (auto it = cache.find(idx); it != cache.end()) return it->second;
+  int dest = rt_.home_pe(idx);
+  if (dest == pe) {
+    auto hit = c.local(pe).home.find(idx);
+    if (hit != c.local(pe).home.end() && hit->second.location != kInvalidPe)
+      dest = hit->second.location;
   }
-  ++items_;
-  insert_on(pe, std::move(item), /*flush_through=*/false);
+  return dest;
 }
 
-void Core::insert_on(int pe, Item item, bool flush_through) {
-  if (item.dest_pe == pe) {
-    Collection& c = rt_.collection(col_);
-    ArrayElementBase* elem = c.find(pe, item.idx);
-    rt_.charge(rt_.config().deliver_cost);
-    if (elem != nullptr) {
-      rt_.deliver_local(c, *elem, item.ep, item.payload);
-      rt_.release_payload(std::move(item.payload));
-      return;
+int Core::better_location(int pe, const ObjIndex& idx) {
+  Collection& c = rt_.collection(col_);
+  int better = kInvalidPe;
+  if (rt_.home_pe(idx) == pe) {
+    auto it = c.local(pe).home.find(idx);
+    if (it != c.local(pe).home.end() && !it->second.in_transit &&
+        it->second.location != kInvalidPe && it->second.location != pe) {
+      better = it->second.location;
     }
-    // The element is not here.  Consult the local location knowledge the way
-    // the runtime's own delivery path would: the home table (if this PE is
-    // the home) or the location cache — and keep the item on the aggregated
-    // path toward the real owner.
-    int better = kInvalidPe;
-    if (rt_.home_pe(item.idx) == pe) {
-      auto it = c.local(pe).home.find(item.idx);
-      if (it != c.local(pe).home.end() && !it->second.in_transit &&
-          it->second.location != kInvalidPe && it->second.location != pe) {
-        better = it->second.location;
-      }
-    } else {
-      auto it = c.local(pe).loc_cache.find(item.idx);
-      if (it != c.local(pe).loc_cache.end() && it->second != pe) better = it->second;
-      if (better == kInvalidPe) better = rt_.home_pe(item.idx);
-    }
-    if (better != kInvalidPe && better != pe) {
-      item.dest_pe = better;
-      insert_on(pe, std::move(item), flush_through);
-      return;
-    }
-    // Mid-migration or unknown: hand over to the point-send protocol, which
-    // buffers at the home until the element lands.
-    rt_.send_point(col_, item.idx, item.ep, std::move(item.payload));
+  } else {
+    auto it = c.local(pe).loc_cache.find(idx);
+    if (it != c.local(pe).loc_cache.end() && it->second != pe) better = it->second;
+    if (better == kInvalidPe) better = rt_.home_pe(idx);
+  }
+  return better;
+}
+
+void Core::local_miss(int pe, const ObjIndex& idx, EntryId ep,
+                      std::vector<std::byte> payload, bool flush_through) {
+  const int better = better_location(pe, idx);
+  if (better != kInvalidPe && better != pe) {
+    route_packed(pe, idx, ep, better, payload.data(), payload.size(), flush_through);
+    rt_.release_payload(std::move(payload));
     return;
   }
-  const int peer = rt_.machine().topology().next_on_route(pe, item.dest_pe);
-  auto& buf = pes_[static_cast<std::size_t>(pe)].buffers[peer];
-  buf.push_back(std::move(item));
-  if (buf.size() >= params_.buffer_items) flush_buffer(pe, peer, flush_through);
+  // Mid-migration or unknown: the point-send protocol buffers at the home
+  // until the element lands.
+  rt_.send_point(col_, idx, ep, std::move(payload));
+}
+
+void Core::route_packed(int pe, const ObjIndex& idx, EntryId ep, int dest,
+                        const std::byte* data, std::size_t len,
+                        bool flush_through) {
+  const int peer = rt_.machine().topology().next_on_route(pe, dest);
+  Buffer& buf = buffer_for(pe, peer);
+  FrameHead head{};
+  head.idx = idx;
+  head.ep = ep;
+  head.dest_pe = dest;
+  head.len = static_cast<std::uint32_t>(len);
+  const std::size_t at = buf.frames.size();
+  buf.frames.resize(at + sizeof(FrameHead) + len);
+  std::memcpy(buf.frames.data() + at, &head, sizeof(FrameHead));
+  if (len != 0) std::memcpy(buf.frames.data() + at + sizeof(FrameHead), data, len);
+  buf.payload_bytes += len;
+  ++buf.count;
+  if (buf.count >= params_.buffer_items) flush_buffer(pe, peer, flush_through);
+}
+
+Core::Buffer& Core::buffer_for(int pe, int peer) {
+  auto& buffers = pes_[static_cast<std::size_t>(pe)].buffers;
+  auto it = buffers.find(peer);
+  if (it == buffers.end()) {
+    it = buffers.emplace(peer, Buffer{}).first;
+    it->second.frames = rt_.acquire_payload(0);
+  }
+  return it->second;
+}
+
+void Core::insert(const ObjIndex& dest_idx, EntryId ep, std::vector<std::byte> payload) {
+  const int pe = rt_.machine().current_pe();
+  ++items_;
+  const int dest = resolve_dest(pe, dest_idx);
+  if (dest == pe) {
+    Collection& c = rt_.collection(col_);
+    ArrayElementBase* elem = c.find(pe, dest_idx);
+    rt_.charge(rt_.config().deliver_cost);
+    if (elem != nullptr) {
+      rt_.deliver_local(c, *elem, ep, payload);
+      rt_.release_payload(std::move(payload));
+      return;
+    }
+    local_miss(pe, dest_idx, ep, std::move(payload), /*flush_through=*/false);
+    return;
+  }
+  route_packed(pe, dest_idx, ep, dest, payload.data(), payload.size(),
+               /*flush_through=*/false);
+  rt_.release_payload(std::move(payload));
 }
 
 void Core::flush_buffer(int pe, int peer, bool flush_through) {
   auto& state = pes_[static_cast<std::size_t>(pe)];
   auto it = state.buffers.find(peer);
-  if (it == state.buffers.end() || it->second.empty()) return;
-  auto items = std::make_shared<std::vector<Item>>(std::move(it->second));
+  if (it == state.buffers.end() || it->second.count == 0) return;
+  Buffer buf = std::move(it->second);
   state.buffers.erase(it);
 
-  std::size_t bytes = 0;
-  for (const Item& i : *items) bytes += i.payload.size() + params_.item_overhead;
+  const std::size_t bytes = buf.payload_bytes + buf.count * params_.item_overhead;
   ++batches_;
-  routed_items_ += items->size();
+  routed_items_ += buf.count;
 
-  rt_.send_control(peer, bytes, [this, peer, items, flush_through]() {
-    deliver_batch(peer, items, flush_through);
+  rt_.send_control(peer, bytes, [this, peer, flush_through, buf = std::move(buf)]() mutable {
+    deliver_batch(peer, std::move(buf), flush_through);
   });
 }
 
-void Core::deliver_batch(int pe, std::shared_ptr<std::vector<Item>> items,
-                         bool flush_through) {
-  for (Item& item : *items) insert_on(pe, std::move(item), flush_through);
+void Core::deliver_batch(int pe, Buffer buf, bool flush_through) {
+  Collection& c = rt_.collection(col_);
+  std::size_t off = 0;
+  while (off < buf.frames.size()) {
+    FrameHead head;
+    std::memcpy(&head, buf.frames.data() + off, sizeof(FrameHead));
+    const std::byte* data = buf.frames.data() + off + sizeof(FrameHead);
+    off += sizeof(FrameHead) + head.len;
+    if (head.dest_pe == pe) {
+      ArrayElementBase* elem = c.find(pe, head.idx);
+      rt_.charge(rt_.config().deliver_cost);
+      if (elem != nullptr) {
+        rt_.deliver_local(c, *elem, head.ep, data, head.len);
+      } else {
+        std::vector<std::byte> payload = rt_.acquire_payload(head.len);
+        payload.insert(payload.end(), data, data + head.len);
+        local_miss(pe, head.idx, head.ep, std::move(payload), flush_through);
+      }
+    } else {
+      route_packed(pe, head.idx, head.ep, head.dest_pe, data, head.len,
+                   flush_through);
+    }
+  }
+  rt_.release_payload(std::move(buf.frames));
   if (flush_through) flush_pe(pe, /*flush_through=*/true);
 }
 
@@ -109,7 +153,7 @@ void Core::flush_pe(int pe, bool flush_through) {
   std::vector<int> peers;
   peers.reserve(state.buffers.size());
   for (const auto& [peer, buf] : state.buffers)
-    if (!buf.empty()) peers.push_back(peer);
+    if (buf.count != 0) peers.push_back(peer);
   std::sort(peers.begin(), peers.end());  // deterministic flush order
   for (int peer : peers) flush_buffer(pe, peer, flush_through);
 }

@@ -9,12 +9,19 @@
 // O(peers) = O(sum of dims), not O(P), and items with different destinations
 // share sub-paths.
 //
+// Items are packed *directly* into the per-peer aggregation buffer: each is a
+// [FrameHead][pup bytes] frame appended to a flat byte vector, so a batch is
+// one contiguous allocation instead of a vector of per-item payload vectors.
+// Same-PE destinations skip packing entirely and go through the runtime's
+// typed delivery.
+//
 // Typed facade:
 //   charm::tram::Stream<&Lp::recv_event> stream(rt, lps, {.buffer_items=64});
 //   stream.send(dest_index, event);            // from any handler
 //   stream.flush_all();                        // end of phase (then QD)
 
 #include <cstdint>
+#include <cstring>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -34,7 +41,46 @@ class Core {
  public:
   Core(Runtime& rt, CollectionId target, Params params);
 
-  /// Insert an item from the currently executing PE.
+  /// Insert a typed item from the currently executing PE.  Local
+  /// destinations are delivered through the typed fast path (no pack);
+  /// remote ones are pupped straight into the peer's aggregation buffer.
+  template <class T>
+  void insert_typed(const ObjIndex& dest_idx, EntryId ep, DirectInvoker<T> inv,
+                    const T& item) {
+    const int pe = rt_.machine().current_pe();
+    ++items_;
+    const int dest = resolve_dest(pe, dest_idx);
+    if (dest == pe) {
+      Collection& c = rt_.collection(col_);
+      ArrayElementBase* elem = c.find(pe, dest_idx);
+      rt_.charge(rt_.config().deliver_cost);
+      if (elem != nullptr) {
+        rt_.deliver_local_typed(c, *elem, ep, inv, item);
+        return;
+      }
+      local_miss(pe, dest_idx, ep, rt_.pack_pooled(item), /*flush_through=*/false);
+      return;
+    }
+    const int peer = rt_.machine().topology().next_on_route(pe, dest);
+    Buffer& buf = buffer_for(pe, peer);
+    // Reserve the frame head, pup the item in place, then patch the length.
+    const std::size_t head_at = buf.frames.size();
+    buf.frames.resize(head_at + sizeof(FrameHead));
+    pup::pack_append(buf.frames, item);
+    FrameHead head{};
+    head.idx = dest_idx;
+    head.ep = ep;
+    head.dest_pe = dest;
+    head.len = static_cast<std::uint32_t>(buf.frames.size() - head_at -
+                                          sizeof(FrameHead));
+    std::memcpy(buf.frames.data() + head_at, &head, sizeof(FrameHead));
+    buf.payload_bytes += head.len;
+    ++buf.count;
+    if (buf.count >= params_.buffer_items)
+      flush_buffer(pe, peer, /*flush_through=*/false);
+  }
+
+  /// Insert an already-packed item (legacy / type-erased entry point).
   void insert(const ObjIndex& dest_idx, EntryId ep, std::vector<std::byte> payload);
 
   /// Flush every buffer on every PE and cascade through intermediate hops
@@ -51,20 +97,43 @@ class Core {
   }
 
  private:
-  struct Item {
+  /// Per-item frame header preceding the pupped bytes in a batch buffer.
+  /// Buffers never leave the (sequentially emulated) process, so host layout
+  /// and padding are fine.
+  struct FrameHead {
     ObjIndex idx{};
     EntryId ep = -1;
-    int dest_pe = 0;
-    std::vector<std::byte> payload;
+    std::int32_t dest_pe = 0;
+    std::uint32_t len = 0;
+  };
+  /// One aggregation buffer: concatenated frames plus running totals.
+  struct Buffer {
+    std::vector<std::byte> frames;
+    std::size_t count = 0;
+    std::size_t payload_bytes = 0;  ///< pup bytes only, excluding frame heads
   };
   struct PeState {
-    std::unordered_map<int, std::vector<Item>> buffers;  // keyed by peer PE
+    std::unordered_map<int, Buffer> buffers;  // keyed by peer PE
   };
 
-  void insert_on(int pe, Item item, bool flush_through);
+  /// Destination PE from the sender's location knowledge: local table, cache,
+  /// home record (when this PE is the home), else the home PE.
+  int resolve_dest(int pe, const ObjIndex& idx);
+  /// A better owner guess after a local delivery miss (mirrors the runtime's
+  /// own point-delivery consult of home table / location cache).
+  int better_location(int pe, const ObjIndex& idx);
+  /// Local delivery missed: re-route on the aggregated path when a better
+  /// location is known, else hand over to the point-send protocol (which
+  /// buffers at the home until the element lands).
+  void local_miss(int pe, const ObjIndex& idx, EntryId ep,
+                  std::vector<std::byte> payload, bool flush_through);
+  /// Append an already-packed frame toward `dest` and flush on threshold.
+  void route_packed(int pe, const ObjIndex& idx, EntryId ep, int dest,
+                    const std::byte* data, std::size_t len, bool flush_through);
+  Buffer& buffer_for(int pe, int peer);
   void flush_buffer(int pe, int peer, bool flush_through);
   void flush_pe(int pe, bool flush_through);
-  void deliver_batch(int pe, std::shared_ptr<std::vector<Item>> items, bool flush_through);
+  void deliver_batch(int pe, Buffer buf, bool flush_through);
 
   Runtime& rt_;
   CollectionId col_;
@@ -90,8 +159,8 @@ class Stream {
 
   template <class Ix>
   void send(const Ix& dest, const Item& item) const {
-    core_->insert(IndexTraits<Ix>::encode(dest), Registry::entry_of<Mfp>(),
-                  core_->rt().pack_pooled(const_cast<Item&>(item)));
+    core_->insert_typed(IndexTraits<Ix>::encode(dest), Registry::entry_of<Mfp>(),
+                        Registry::direct_invoker<Mfp>(), item);
   }
 
   void flush_all() const { core_->flush_all(); }
