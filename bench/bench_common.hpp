@@ -79,6 +79,13 @@ inline Series& series() {
   return s;
 }
 
+/// Overhead-surface cells accumulated by the taskbench driver; exported as
+/// the stats JSON's "taskbench" section when non-empty.
+inline std::vector<stats::TaskbenchCell>& taskbench_cells() {
+  static std::vector<stats::TaskbenchCell> cells;
+  return cells;
+}
+
 namespace detail {
 
 /// One row of the option table.  `arg` == nullptr marks a boolean flag;
@@ -145,36 +152,50 @@ inline std::string flag_usage() {
 
 }  // namespace detail
 
-/// Parses the common flags from the shared option table; rejects anything
+/// Parses the common flags plus `extra` bench-specific ones; rejects anything
 /// else (with the full flag list) so typos fail CI instead of being ignored.
-inline int parse_args(int argc, char** argv) {
+inline int parse_args(int argc, char** argv, const detail::FlagSpec* extra = nullptr,
+                      std::size_t nextra = 0) {
   if (argc > 0) {
     const char* slash = std::strrchr(argv[0], '/');
     options().bench_name = slash != nullptr ? slash + 1 : argv[0];
   }
-  std::size_t nflags = 0;
-  const detail::FlagSpec* flags = detail::flag_table(&nflags);
+  std::size_t ncommon = 0;
+  const detail::FlagSpec* common = detail::flag_table(&ncommon);
+  std::vector<const detail::FlagSpec*> flags;
+  flags.reserve(ncommon + nextra);
+  for (std::size_t f = 0; f < ncommon; ++f) flags.push_back(&common[f]);
+  for (std::size_t f = 0; f < nextra; ++f) flags.push_back(&extra[f]);
   for (int i = 1; i < argc; ++i) {
     const char* a = argv[i];
     const detail::FlagSpec* match = nullptr;
     const char* value = nullptr;
-    for (std::size_t f = 0; f < nflags; ++f) {
-      const std::size_t len = std::strlen(flags[f].name);
-      if (flags[f].arg == nullptr) {
-        if (std::strcmp(a, flags[f].name) == 0) {
-          match = &flags[f];
+    for (const detail::FlagSpec* spec : flags) {
+      const std::size_t len = std::strlen(spec->name);
+      if (spec->arg == nullptr) {
+        if (std::strcmp(a, spec->name) == 0) {
+          match = spec;
           break;
         }
-      } else if (std::strncmp(a, flags[f].name, len) == 0 && a[len] == '=' &&
+      } else if (std::strncmp(a, spec->name, len) == 0 && a[len] == '=' &&
                  a[len + 1] != '\0') {
-        match = &flags[f];
+        match = spec;
         value = a + len + 1;
         break;
       }
     }
     if (match == nullptr) {
+      std::string usage = detail::flag_usage();
+      for (std::size_t f = 0; f < nextra; ++f) {
+        usage += ", ";
+        usage += extra[f].name;
+        if (extra[f].arg != nullptr) {
+          usage += "=";
+          usage += extra[f].arg;
+        }
+      }
       std::fprintf(stderr, "%s: unknown argument '%s' (expected %s)\n", argv[0], a,
-                   detail::flag_usage().c_str());
+                   usage.c_str());
       return 1;
     }
     if (!match->parse(value)) {
@@ -293,6 +314,7 @@ inline int finish() {
     meta.smoke = options().smoke;
     meta.series = series().tables;
     meta.notes = series().notes;
+    meta.taskbench = taskbench_cells();
     meta.label = entry_labeler();
     if (!stats::write_json_file(report, meta, options().stats_file)) {
       std::fprintf(stderr, "failed to write stats to %s\n", options().stats_file.c_str());

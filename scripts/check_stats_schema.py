@@ -38,6 +38,15 @@ TOP_KEYS = [
     "series", "notes", "totals", "pes", "entries", "comm", "imbalance",
     "phases", "critical_path",
 ]
+# The taskbench bench adds an overhead-surface section between "notes" and
+# "totals"; every other bench keeps the original key list bit-for-bit.
+TOP_KEYS_TASKBENCH = TOP_KEYS[:9] + ["taskbench"] + TOP_KEYS[9:]
+TASKBENCH_CELL_KEYS = [
+    "pattern", "transport", "npes", "width", "steps", "grain",
+    "payload_doubles", "fanout", "seed", "tasks", "edges", "msgs", "bytes",
+    "makespan", "ideal", "efficiency", "overhead_per_task", "tram_aggregation",
+]
+TASKBENCH_PATTERNS = {"stencil_1d", "fft", "tree", "sweep", "random"}
 PE_KEYS = [
     "pe", "busy", "exec", "overhead", "idle", "execs", "queue_wait",
     "msgs_sent", "bytes_sent", "msgs_recv", "bytes_recv",
@@ -120,6 +129,54 @@ def check_micro(doc, raw):
     check_byte_form(raw)
 
 
+def check_taskbench_cells(cells):
+    expect(isinstance(cells, list) and cells, "taskbench: expected non-empty list")
+    seen_ids = set()
+    for i, c in enumerate(cells):
+        where = f"taskbench[{i}]"
+        expect_keys(c, TASKBENCH_CELL_KEYS, where)
+        expect(c["pattern"] in TASKBENCH_PATTERNS,
+               f"{where}.pattern: {c['pattern']!r}")
+        expect(c["transport"] in ("point", "tram"),
+               f"{where}.transport: {c['transport']!r}")
+        npes = expect_num(c, "npes", where, minimum=1)
+        width = expect_num(c, "width", where, minimum=1)
+        steps = expect_num(c, "steps", where, minimum=1)
+        grain = expect_num(c, "grain", where, minimum=0)
+        expect_num(c, "payload_doubles", where, minimum=0)
+        expect_num(c, "fanout", where, minimum=1)
+        expect_num(c, "seed", where, minimum=0)
+        tasks = expect_num(c, "tasks", where, minimum=1)
+        edges = expect_num(c, "edges", where, minimum=0)
+        expect_num(c, "msgs", where, minimum=1)
+        expect_num(c, "bytes", where, minimum=1)
+        makespan = expect_num(c, "makespan", where, minimum=0)
+        ideal = expect_num(c, "ideal", where, minimum=0)
+        expect(tasks == width * steps,
+               f"{where}: tasks {tasks} != width*steps {width * steps}")
+        expect(edges <= tasks * max(3, c["fanout"] + 1),
+               f"{where}: edge count {edges} implausible for the graph")
+        expect(close(ideal, grain * steps * math.ceil(width / npes), tol=1e-6),
+               f"{where}: ideal {ideal} != grain*steps*ceil(width/npes)")
+        expect(makespan >= ideal - 1e-12,
+               f"{where}: makespan {makespan} < ideal {ideal}")
+        if makespan > 0:
+            expect(close(c["efficiency"], ideal / makespan, tol=1e-6),
+                   f"{where}: efficiency inconsistent with ideal/makespan")
+        expect(close(c["overhead_per_task"],
+                     (makespan - ideal) * npes / tasks, tol=1e-6),
+               f"{where}: overhead_per_task inconsistent")
+        expect(c["overhead_per_task"] >= -1e-12,
+               f"{where}: negative overhead_per_task")
+        expect((c["transport"] == "tram") == (c["tram_aggregation"] > 0),
+               f"{where}: tram_aggregation {c['tram_aggregation']} does not "
+               f"match transport {c['transport']!r}")
+        ident = (c["pattern"], c["transport"], npes, width, steps, grain,
+                 c["payload_doubles"], c["fanout"], c["seed"])
+        expect(ident not in seen_ids, f"{where}: duplicate cell {ident}")
+        seen_ids.add(ident)
+
+
 def check(path):
     with open(path, "rb") as f:
         raw = f.read()
@@ -130,7 +187,9 @@ def check(path):
         check_micro(doc, raw)
         return
 
-    expect_keys(doc, TOP_KEYS, "top level")
+    has_taskbench = "taskbench" in doc
+    expect_keys(doc, TOP_KEYS_TASKBENCH if has_taskbench else TOP_KEYS,
+                "top level")
     expect(doc["schema"] == SCHEMA, f"schema: {doc['schema']!r} != {SCHEMA!r}")
     expect(doc["version"] == VERSION, f"version: {doc['version']} != {VERSION}")
     expect(isinstance(doc["bench"], str) and doc["bench"], "bench: empty")
@@ -151,6 +210,8 @@ def check(path):
                 expect(len(row) == ncols,
                        f"{where}.rows[{j}]: {len(row)} values for {ncols} columns")
     expect(all(isinstance(n, str) for n in doc["notes"]), "notes: non-string entry")
+    if has_taskbench:
+        check_taskbench_cells(doc["taskbench"])
 
     expect_keys(doc["totals"], ["busy", "exec", "overhead", "execs"], "totals")
     t_busy = expect_num(doc["totals"], "busy", "totals", minimum=0)

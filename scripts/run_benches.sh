@@ -1,22 +1,26 @@
 #!/usr/bin/env bash
-# Runs every figure-reproduction bench plus the micro-benchmarks, mirroring
+# Runs every figure-reproduction bench, the taskbench overhead-surface sweep,
+# and the micro-benchmarks, mirroring
 #   for b in build/bench/*; do $b; done
 # but skipping CMake bookkeeping entries.  Output goes to stdout; tee it into
 # bench_output.txt for the EXPERIMENTS.md record.
 #
+# The script fails fast: the first bench that exits nonzero stops the run and
+# its name is printed on stderr, so CI logs point straight at the culprit.
+#
 # --smoke runs each figure binary in its reduced configuration (tiny PE
-# sweeps, few steps) — the CI bench-smoke gate.  Any bench failure makes the
-# script exit nonzero.  micro_* binaries use google-benchmark's own flag
-# parsing, so in smoke mode they get a minimal-time run instead of --smoke.
+# sweeps, few steps) — the CI bench-smoke gate.  micro_* binaries use
+# google-benchmark's own flag parsing, so in smoke mode they get a
+# minimal-time run instead of --smoke.
 #
 # --stats[=DIR] additionally passes --stats=DIR/BENCH_<name>.json to every
-# figure/ablation binary (default DIR: bench_stats), producing the
+# figure/ablation/taskbench binary (default DIR: bench_stats), producing the
 # machine-readable analytics record EXPERIMENTS.md points at.  Validate with
 # scripts/check_stats_schema.py; inspect or diff with build/tools/statsview.
 # The micro suite records host wall-clock rates instead: google-benchmark's
 # JSON is captured and converted (scripts/micro_to_stats.py) into
 # DIR/BENCH_micro.json, the one stats file that is NOT byte-deterministic.
-set -u
+set -euo pipefail
 cd "$(dirname "$0")/.."
 
 smoke=0
@@ -29,19 +33,22 @@ for arg in "$@"; do
     *) echo "usage: $0 [--smoke] [--stats[=DIR]]" >&2; exit 2 ;;
   esac
 done
-[ -n "$stats_dir" ] && mkdir -p "$stats_dir"
+if [ -n "$stats_dir" ]; then
+  mkdir -p "$stats_dir"
+fi
 
-failures=0
-for b in build/bench/fig* build/bench/ablation_* build/bench/micro_*; do
-  [ -x "$b" ] || continue
+for b in build/bench/fig* build/bench/ablation_* build/bench/taskbench \
+         build/bench/micro_*; do
+  if [ ! -x "$b" ]; then
+    continue
+  fi
   echo "### $b"
   name="$(basename "$b")"
   case "$name" in
     micro_*)
+      args=()
       if [ "$smoke" -eq 1 ]; then
-        args=(--benchmark_min_time=0.01)
-      else
-        args=()
+        args+=(--benchmark_min_time=0.01)
       fi
       if [ -n "$stats_dir" ]; then
         args+=(--benchmark_out="$stats_dir/raw_${name}.json"
@@ -50,33 +57,39 @@ for b in build/bench/fig* build/bench/ablation_* build/bench/micro_*; do
       ;;
     *)
       args=()
-      [ "$smoke" -eq 1 ] && args+=(--smoke)
-      [ -n "$stats_dir" ] && args+=(--stats="$stats_dir/BENCH_${name}.json")
+      if [ "$smoke" -eq 1 ]; then
+        args+=(--smoke)
+      fi
+      if [ -n "$stats_dir" ]; then
+        args+=(--stats="$stats_dir/BENCH_${name}.json")
+      fi
       ;;
   esac
-  if ! "$b" ${args[@]+"${args[@]}"}; then
-    echo "### $b FAILED (exit $?)"
-    failures=$((failures + 1))
-  elif [ -n "$stats_dir" ]; then
+  rc=0
+  "$b" ${args[@]+"${args[@]}"} || rc=$?
+  if [ "$rc" -ne 0 ]; then
+    echo "### FAILED: $b (exit $rc)" >&2
+    exit 1
+  fi
+  if [ -n "$stats_dir" ]; then
     case "$name" in
       micro_*)
         # One micro suite today, so the record keeps the stable name
         # BENCH_micro.json rather than BENCH_${name}.json.
         micro_args=()
-        [ "$smoke" -eq 1 ] && micro_args+=(--smoke)
-        if ! python3 scripts/micro_to_stats.py \
-               "$stats_dir/raw_${name}.json" "$stats_dir/BENCH_micro.json" \
-               ${micro_args[@]+"${micro_args[@]}"}; then
-          echo "### micro_to_stats.py FAILED for $name"
-          failures=$((failures + 1))
+        if [ "$smoke" -eq 1 ]; then
+          micro_args+=(--smoke)
         fi
+        rc=0
+        python3 scripts/micro_to_stats.py \
+          "$stats_dir/raw_${name}.json" "$stats_dir/BENCH_micro.json" \
+          ${micro_args[@]+"${micro_args[@]}"} || rc=$?
         rm -f "$stats_dir/raw_${name}.json"
+        if [ "$rc" -ne 0 ]; then
+          echo "### FAILED: micro_to_stats.py for $name (exit $rc)" >&2
+          exit 1
+        fi
         ;;
     esac
   fi
 done
-
-if [ "$failures" -gt 0 ]; then
-  echo "### $failures bench(es) failed" >&2
-  exit 1
-fi

@@ -25,20 +25,19 @@ void Tile::begin(const StartMsg& m) {
       for (int j = 0; j < bh(); ++j) at(u_, 0, j) = 1.0;
     }
   }
-  target_ = iter_ + m.iters;
+  target_ = gather_.step() + m.iters;
   start_iter();
 }
 
 void Tile::start_iter() {
   const Index2D me = index();
-  ghosts_expected_ = 0;
-  ghosts_seen_ = 0;
   for (int s = 0; s < 4; ++s) ghosts_[s].clear();
 
+  int expected = 0;
   auto send_strip = [&](int nx, int ny, int their_side, bool horizontal) {
     if (nx < 0 || nx >= p_.tiles_x || ny < 0 || ny >= p_.tiles_y) return;
     GhostMsg g;
-    g.iter = iter_;
+    g.iter = gather_.step();
     g.side = their_side;
     if (horizontal) {
       const int col = their_side == 0 ? bw() - 1 : 0;  // they see our edge
@@ -47,7 +46,7 @@ void Tile::start_iter() {
       const int row = their_side == 2 ? bh() - 1 : 0;
       for (int i = 0; i < bw(); ++i) g.strip.push_back(at(u_, i, row));
     }
-    ++ghosts_expected_;  // symmetric stencil: one in for every out
+    ++expected;  // symmetric stencil: one in for every out
     tiles_[Index2D{nx, ny}].send<&Tile::ghost>(g);
   };
   // side codes are from the receiver's perspective.
@@ -56,24 +55,15 @@ void Tile::start_iter() {
   send_strip(me.x, me.y - 1, 3, false);
   send_strip(me.x, me.y + 1, 2, false);
 
-  early_.erase(early_.begin(), early_.lower_bound(iter_));  // prune stale
-  auto it = early_.find(iter_);
-  if (it != early_.end()) {
-    auto msgs = std::move(it->second);
-    early_.erase(it);
-    for (const GhostMsg& g : msgs) ghost(g);
-  }
-  if (ghosts_expected_ == 0 && ghosts_seen_ == 0) sweep();  // single-tile case
+  if (gather_.open(gather_.step(), expected, [&](const GhostMsg& g) { ghost(g); }))
+    sweep();  // single-tile case
 }
 
 void Tile::ghost(const GhostMsg& m) {
-  if (m.iter != iter_ || ghosts_expected_ == 0) {
-    if (m.iter >= iter_) early_[m.iter].push_back(m);  // stale strips are dropped
-    return;
-  }
-  if (!ghosts_[m.side].empty()) return;  // duplicate strip for this side
+  if (!gather_.offer(m.iter, m)) return;  // buffered for a later iter, or stale
+  if (!ghosts_[m.side].empty()) return;   // duplicate strip for this side
   ghosts_[m.side] = m.strip;
-  if (++ghosts_seen_ >= ghosts_expected_) sweep();
+  if (gather_.accept()) sweep();
 }
 
 void Tile::sweep() {
@@ -116,14 +106,13 @@ void Tile::sweep() {
   charm::charge(p_.cell_cost * weight * static_cast<double>(W) * static_cast<double>(H));
 
   // Next-iteration ghosts from early-resumed neighbors must buffer until our
-  // own resume (the guard is ghosts_expected_ == 0, so clear it here).
-  ghosts_expected_ = 0;
-  ++iter_;
+  // own resume, so the gather closes here.
+  gather_.close();
   at_sync();
 }
 
 void Tile::resume_from_sync() {
-  if (iter_ < target_) {
+  if (gather_.step() < target_) {
     start_iter();
   } else if (target_ > 0) {
     contribute(last_delta_, ReduceOp::kSum, done_cb);
@@ -141,12 +130,9 @@ void Tile::pup(pup::Er& p) {
   p | u_;
   p | unew_;
   for (auto& g : ghosts_) p | g;
-  p | iter_;
+  p | gather_;
   p | target_;
-  p | ghosts_expected_;
-  p | ghosts_seen_;
   p | last_delta_;
-  p | early_;
 }
 
 Sim::Sim(Runtime& rt, Params p) : rt_(rt), p_(p) {

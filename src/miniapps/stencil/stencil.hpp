@@ -8,10 +8,10 @@
 // per-cell compute cost is charged in virtual time.
 
 #include <cstdint>
-#include <map>
 #include <vector>
 
 #include "runtime/charm.hpp"
+#include "runtime/dep_gather.hpp"
 
 namespace charm::stencil {
 
@@ -55,10 +55,10 @@ class Tile : public charm::ArrayElement<Tile, Index2D> {
   std::array<double, 3> lb_coords() const override;
   void pup(pup::Er& p) override;
 
-  int iters_done() const { return iter_; }
-  int dbg_expected() const { return ghosts_expected_; }
-  int dbg_seen() const { return ghosts_seen_; }
-  std::size_t dbg_early() const { return early_.size(); }
+  int iters_done() const { return gather_.step(); }
+  int dbg_expected() const { return gather_.expected(); }
+  int dbg_seen() const { return gather_.seen(); }
+  std::size_t dbg_early() const { return gather_.buffered_steps(); }
   /// Sum of squared updates in the last sweep (convergence diagnostic).
   double last_delta() const { return last_delta_; }
 
@@ -74,13 +74,10 @@ class Tile : public charm::ArrayElement<Tile, Index2D> {
   Params p_{};
   ArrayProxy<Tile, Index2D> tiles_;
   std::vector<double> u_, unew_;
-  std::vector<double> ghosts_[4];  ///< received strips per side
-  int iter_ = 0;
+  std::vector<double> ghosts_[4];       ///< received strips per side
+  DepGather<GhostMsg> gather_;          ///< per-iteration ghost accounting
   int target_ = 0;
-  int ghosts_expected_ = 0;
-  int ghosts_seen_ = 0;
   double last_delta_ = 0;
-  std::map<int, std::vector<GhostMsg>> early_;
 };
 
 class Sim {

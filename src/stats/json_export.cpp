@@ -148,6 +148,52 @@ std::string to_json(const Report& r, const ExportMeta& meta) {
   for (const std::string& n : meta.notes) w.str(n);
   w.close_arr();
 
+  if (!meta.taskbench.empty()) {
+    w.key("taskbench");
+    w.open_arr();
+    for (const TaskbenchCell& c : meta.taskbench) {
+      w.open_obj();
+      w.key("pattern");
+      w.str(c.pattern);
+      w.key("transport");
+      w.str(c.transport);
+      w.key("npes");
+      w.num(c.npes);
+      w.key("width");
+      w.num(c.width);
+      w.key("steps");
+      w.num(c.steps);
+      w.key("grain");
+      w.num(c.grain);
+      w.key("payload_doubles");
+      w.num(c.payload_doubles);
+      w.key("fanout");
+      w.num(c.fanout);
+      w.key("seed");
+      w.num(c.seed);
+      w.key("tasks");
+      w.num(c.tasks);
+      w.key("edges");
+      w.num(c.edges);
+      w.key("msgs");
+      w.num(c.msgs);
+      w.key("bytes");
+      w.num(c.bytes);
+      w.key("makespan");
+      w.num(c.makespan);
+      w.key("ideal");
+      w.num(c.ideal);
+      w.key("efficiency");
+      w.num(c.efficiency);
+      w.key("overhead_per_task");
+      w.num(c.overhead_per_task);
+      w.key("tram_aggregation");
+      w.num(c.tram_aggregation);
+      w.close_obj();
+    }
+    w.close_arr();
+  }
+
   w.key("totals");
   w.open_obj();
   w.key("busy");

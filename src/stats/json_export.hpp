@@ -27,11 +27,39 @@ struct SeriesTable {
 /// col == -1 the synthetic pure-runtime key.
 using EntryLabeler = std::function<std::string(int col, int ep)>;
 
+/// One (pattern x grain x P) cell of a taskbench overhead-surface sweep
+/// (DESIGN.md §8).  The identity keys (pattern..seed) name the cell; the
+/// rest are the measured surface: achieved vs ideal makespan and the derived
+/// per-task overhead, plus message/byte counters for the cell's traffic.
+struct TaskbenchCell {
+  std::string pattern;    ///< stencil_1d / fft / tree / sweep / random
+  std::string transport;  ///< "point" or "tram"
+  int npes = 0;
+  int width = 0;
+  int steps = 0;
+  double grain = 0;
+  int payload_doubles = 0;
+  int fanout = 0;
+  std::uint64_t seed = 0;
+  std::uint64_t tasks = 0;
+  std::uint64_t edges = 0;
+  std::uint64_t msgs = 0;
+  std::uint64_t bytes = 0;
+  double makespan = 0;
+  double ideal = 0;
+  double efficiency = 0;
+  double overhead_per_task = 0;
+  double tram_aggregation = 0;
+};
+
 struct ExportMeta {
   std::string bench;  ///< binary name, e.g. "fig11_namd_profiles"
   bool smoke = false;
   std::vector<SeriesTable> series;
   std::vector<std::string> notes;
+  /// Overhead-surface cells; emitted as a "taskbench" section when non-empty
+  /// (only the taskbench bench fills this, so figure JSON is unchanged).
+  std::vector<TaskbenchCell> taskbench;
   EntryLabeler label;  ///< optional; default "col<c>.ep<e>" / "runtime"
 };
 

@@ -1,0 +1,185 @@
+// Task Bench workload generator: DAG shape invariants, seeded-random graph
+// determinism, execution completeness on every pattern/transport, and the
+// METG-style overhead metric's sanity properties.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "taskbench/taskbench.hpp"
+#include "test_util.hpp"
+
+namespace {
+
+using charm::taskbench::CellResult;
+using charm::taskbench::Params;
+using charm::taskbench::Pattern;
+
+constexpr Pattern kAllPatterns[] = {Pattern::kStencil1D, Pattern::kFft,
+                                    Pattern::kTree, Pattern::kSweep,
+                                    Pattern::kRandom};
+
+Params base_params(Pattern pat) {
+  Params p;
+  p.pattern = pat;
+  p.width = 24;
+  p.steps = 6;
+  p.grain = 2e-6;
+  p.payload_doubles = 4;
+  p.fanout = 3;
+  p.seed = 7;
+  return p;
+}
+
+/// Sums deps_of over one gathering step — must match the closed form.
+std::uint64_t enumerate_step_edges(const Params& p, int t) {
+  std::uint64_t n = 0;
+  std::vector<int> deps;
+  for (int i = 0; i < p.width; ++i) {
+    charm::taskbench::deps_of(p, t, i, &deps);
+    n += deps.size();
+  }
+  return n;
+}
+
+TEST(TaskbenchGraph, EdgeCountMatchesEnumeration) {
+  for (Pattern pat : kAllPatterns) {
+    Params p = base_params(pat);
+    std::uint64_t total = 0;
+    for (int t = 1; t < p.steps; ++t) total += enumerate_step_edges(p, t);
+    EXPECT_EQ(charm::taskbench::edge_count(p), total) << to_string(pat);
+    EXPECT_EQ(charm::taskbench::task_count(p),
+              static_cast<std::uint64_t>(p.width) * p.steps);
+  }
+}
+
+TEST(TaskbenchGraph, KnownClosedForms) {
+  Params p = base_params(Pattern::kStencil1D);
+  // 5 gathering steps x (3*24 - 2)
+  EXPECT_EQ(charm::taskbench::edge_count(p), 5u * 70u);
+  p.pattern = Pattern::kSweep;
+  EXPECT_EQ(charm::taskbench::edge_count(p), 5u * 47u);
+  p.pattern = Pattern::kTree;
+  EXPECT_EQ(charm::taskbench::edge_count(p), 5u * 47u);
+  // Power-of-two butterfly: every point has a distinct partner, 2W per step.
+  Params f = base_params(Pattern::kFft);
+  f.width = 16;
+  EXPECT_EQ(charm::taskbench::edge_count(f), 5u * 32u);
+}
+
+TEST(TaskbenchGraph, DependentsInvertDeps) {
+  std::vector<int> deps, outs;
+  for (Pattern pat : kAllPatterns) {
+    Params p = base_params(pat);
+    for (int t = 1; t < p.steps; ++t) {
+      for (int i = 0; i < p.width; ++i) {
+        charm::taskbench::deps_of(p, t, i, &deps);
+        EXPECT_TRUE(std::is_sorted(deps.begin(), deps.end()));
+        EXPECT_TRUE(std::binary_search(deps.begin(), deps.end(), i))
+            << "missing self dep: " << to_string(pat) << " t=" << t << " i=" << i;
+        for (int s : deps) {
+          ASSERT_GE(s, 0);
+          ASSERT_LT(s, p.width);
+          charm::taskbench::dependents_of(p, t - 1, s, &outs);
+          EXPECT_TRUE(std::binary_search(outs.begin(), outs.end(), i))
+              << to_string(pat) << " t=" << t << " i=" << i << " dep=" << s;
+        }
+      }
+    }
+  }
+}
+
+TEST(TaskbenchGraph, RandomGraphIsSeedDeterministicAndSeedSensitive) {
+  Params p = base_params(Pattern::kRandom);
+  std::vector<int> a, b;
+  bool any_differs = false;
+  for (int t = 1; t < p.steps; ++t) {
+    for (int i = 0; i < p.width; ++i) {
+      charm::taskbench::deps_of(p, t, i, &a);
+      charm::taskbench::deps_of(p, t, i, &b);
+      EXPECT_EQ(a, b);
+      Params other = p;
+      other.seed = p.seed + 1;
+      charm::taskbench::deps_of(other, t, i, &b);
+      if (a != b) any_differs = true;
+    }
+  }
+  EXPECT_TRUE(any_differs) << "seed does not influence the random graph";
+}
+
+CellResult run(const Params& p, int npes) {
+  charmtest::Harness h(npes);
+  return charm::taskbench::run_cell(h.rt, p);
+}
+
+TEST(TaskbenchRun, AllPatternsCompleteOnPointSends) {
+  for (Pattern pat : kAllPatterns) {
+    const Params p = base_params(pat);
+    const CellResult r = run(p, 4);
+    EXPECT_TRUE(r.complete()) << to_string(pat) << ": executed=" << r.executed
+                              << "/" << r.tasks << " inputs=" << r.inputs << "/"
+                              << r.edges;
+    EXPECT_GT(r.msgs, 0u);
+    EXPECT_GT(r.bytes, 0u);
+  }
+}
+
+TEST(TaskbenchRun, AllPatternsCompleteOnTram) {
+  for (Pattern pat : kAllPatterns) {
+    Params p = base_params(pat);
+    p.use_tram = true;
+    p.tram_buffer = 4;
+    const CellResult r = run(p, 4);
+    EXPECT_TRUE(r.complete()) << to_string(pat);
+    EXPECT_GT(r.tram_aggregation, 0.0) << to_string(pat);
+  }
+}
+
+TEST(TaskbenchRun, OverheadIsNonNegativeAndMakespanAboveIdeal) {
+  for (Pattern pat : kAllPatterns) {
+    const CellResult r = run(base_params(pat), 4);
+    EXPECT_GT(r.ideal, 0.0);
+    EXPECT_GE(r.makespan, r.ideal) << to_string(pat);
+    EXPECT_GE(r.overhead_per_task, 0.0) << to_string(pat);
+    EXPECT_GT(r.efficiency, 0.0);
+    EXPECT_LE(r.efficiency, 1.0) << to_string(pat);
+  }
+}
+
+TEST(TaskbenchRun, EfficiencyApproachesOneAsGrainGrows) {
+  Params fine = base_params(Pattern::kStencil1D);
+  fine.grain = 1e-7;
+  Params coarse = fine;
+  coarse.grain = 1e-2;
+  const CellResult rf = run(fine, 4);
+  const CellResult rc = run(coarse, 4);
+  // Same graph, same per-message costs: a 10^5 coarser grain has to drown the
+  // runtime overhead almost completely.
+  EXPECT_GT(rc.efficiency, rf.efficiency);
+  EXPECT_GT(rc.efficiency, 0.99);
+  // Per-task overhead is a property of the runtime, not the grain: it must
+  // stay the same order of magnitude, not scale with the 10^5 grain change.
+  EXPECT_LT(rc.overhead_per_task, rf.overhead_per_task * 10 + 1e-6);
+}
+
+TEST(TaskbenchRun, MakespanIsRunToRunDeterministic) {
+  const Params p = base_params(Pattern::kRandom);
+  const CellResult a = run(p, 4);
+  const CellResult b = run(p, 4);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.msgs, b.msgs);
+  EXPECT_EQ(a.bytes, b.bytes);
+}
+
+TEST(TaskbenchRun, WiderMachineShrinksMakespan) {
+  Params p = base_params(Pattern::kStencil1D);
+  p.width = 32;
+  p.grain = 1e-4;  // compute-dominated, so P must matter
+  const CellResult r2 = run(p, 2);
+  const CellResult r8 = run(p, 8);
+  EXPECT_LT(r8.makespan, r2.makespan);
+  EXPECT_LT(r8.ideal, r2.ideal);
+}
+
+}  // namespace

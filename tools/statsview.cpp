@@ -37,6 +37,21 @@ struct EntryRow {
   double grain_max = 0;
 };
 
+/// One overhead-surface cell of a taskbench sweep (the "taskbench" section).
+struct TbCell {
+  std::string id;  ///< identity: pattern/transport/npes/width/steps/grain/...
+  std::string pattern;
+  std::string transport;
+  int npes = 0;
+  int width = 0;
+  int steps = 0;
+  double grain = 0;
+  double makespan = 0;
+  double ideal = 0;
+  double efficiency = 0;
+  double overhead_per_task = 0;
+};
+
 struct Doc {
   std::string path;
   Value root;
@@ -45,6 +60,7 @@ struct Doc {
   double exec = 0;
   int npes = 0;
   std::vector<EntryRow> entries;  ///< aggregated over PEs, sorted by busy desc
+  std::vector<TbCell> taskbench;  ///< overhead-surface cells, file order
 };
 
 bool load(const std::string& path, Doc& doc) {
@@ -85,6 +101,28 @@ bool load(const std::string& path, Doc& doc) {
       r.busy += e.num("busy");
       r.exec += e.num("exec");
       r.grain_max = std::max(r.grain_max, e.num("grain_max"));
+    }
+  }
+  if (const Value* tb = doc.root.find("taskbench"); tb != nullptr && tb->is_array()) {
+    for (const Value& c : tb->array) {
+      TbCell cell;
+      cell.pattern = c.str("pattern", "?");
+      cell.transport = c.str("transport", "?");
+      cell.npes = static_cast<int>(c.num("npes"));
+      cell.width = static_cast<int>(c.num("width"));
+      cell.steps = static_cast<int>(c.num("steps"));
+      cell.grain = c.num("grain");
+      cell.makespan = c.num("makespan");
+      cell.ideal = c.num("ideal");
+      cell.efficiency = c.num("efficiency");
+      cell.overhead_per_task = c.num("overhead_per_task");
+      cell.id = cell.pattern + "/" + cell.transport + " P" +
+                std::to_string(cell.npes) + " " + std::to_string(cell.width) + "x" +
+                std::to_string(cell.steps) + " g" + stats::json::format_double(cell.grain) +
+                " pay" + std::to_string(static_cast<int>(c.num("payload_doubles"))) +
+                " f" + std::to_string(static_cast<int>(c.num("fanout"))) + " s" +
+                std::to_string(static_cast<long long>(c.num("seed")));
+      doc.taskbench.push_back(std::move(cell));
     }
   }
   doc.entries.reserve(agg.size());
@@ -163,6 +201,16 @@ void print_report(const Doc& d, int top) {
     }
   }
 
+  if (!d.taskbench.empty()) {
+    std::printf("\ntaskbench overhead surface (%zu cells):\n", d.taskbench.size());
+    std::printf("%-44s %12s %12s %8s %14s\n", "cell", "makespan_s", "ideal_s", "eff",
+                "ovhd/task_s");
+    for (const TbCell& c : d.taskbench) {
+      std::printf("%-44s %12.6g %12.6g %8.3f %14.6g\n", c.id.c_str(), c.makespan,
+                  c.ideal, c.efficiency, c.overhead_per_task);
+    }
+  }
+
   if (const Value* cp = d.root.find("critical_path")) {
     std::printf("\ncritical path: %.6g s (%.1f%% of makespan) = %.6g work + %.6g comm over %llu execs\n",
                 cp->num("length"), 100.0 * cp->num("makespan_ratio"), cp->num("work"),
@@ -219,14 +267,56 @@ int diff(const Doc& a, const Doc& b, int top, double threshold_pct) {
                 m.b_busy - m.a_busy);
   }
 
+  // Taskbench overhead surface: cells matched by identity; any per-cell
+  // makespan regression past the threshold gates, as does a baseline cell
+  // missing from the candidate (a silently shrunk sweep must not pass).
+  int failures = 0;
+  if (!a.taskbench.empty() || !b.taskbench.empty()) {
+    std::map<std::string, const TbCell*> in_b;
+    for (const TbCell& c : b.taskbench) in_b[c.id] = &c;
+    std::printf("\ntaskbench overhead surface (%zu vs %zu cells):\n",
+                a.taskbench.size(), b.taskbench.size());
+    std::printf("%-44s %12s %12s %9s %14s\n", "cell", "A_mksp_s", "B_mksp_s",
+                "delta%", "B_ovhd/task_s");
+    for (const TbCell& ca : a.taskbench) {
+      auto it = in_b.find(ca.id);
+      if (it == in_b.end()) {
+        std::printf("%-44s %12.6g %12s %9s %14s  MISSING\n", ca.id.c_str(),
+                    ca.makespan, "-", "-", "-");
+        ++failures;
+        continue;
+      }
+      const TbCell& cb = *it->second;
+      const double cell_pct =
+          ca.makespan > 0 ? 100.0 * (cb.makespan - ca.makespan) / ca.makespan : 0;
+      const bool bad = cell_pct > threshold_pct;
+      std::printf("%-44s %12.6g %12.6g %+8.2f%% %14.6g%s\n", ca.id.c_str(), ca.makespan,
+                  cb.makespan, cell_pct, cb.overhead_per_task,
+                  bad ? "  REGRESSION" : "");
+      if (bad) ++failures;
+      in_b.erase(it);
+    }
+    for (const TbCell& cb : b.taskbench) {
+      if (in_b.count(cb.id))
+        std::printf("%-44s %12s %12.6g %9s %14.6g  NEW\n", cb.id.c_str(), "-",
+                    cb.makespan, "-", cb.overhead_per_task);
+    }
+  }
+
   const double reg_pct = a.makespan > 0 ? 100.0 * (b.makespan - a.makespan) / a.makespan : 0;
   if (reg_pct > threshold_pct) {
     std::printf("\nREGRESSION: makespan +%.2f%% exceeds the %.2f%% threshold\n", reg_pct,
                 threshold_pct);
     return 2;
   }
-  std::printf("\nOK: makespan delta %+.2f%% within the %.2f%% threshold\n", reg_pct,
-              threshold_pct);
+  if (failures > 0) {
+    std::printf("\nREGRESSION: %d taskbench cell(s) regressed past %.2f%% or went missing\n",
+                failures, threshold_pct);
+    return 2;
+  }
+  std::printf("\nOK: makespan delta %+.2f%% within the %.2f%% threshold%s\n", reg_pct,
+              threshold_pct,
+              a.taskbench.empty() ? "" : "; all taskbench cells within threshold");
   return 0;
 }
 
