@@ -86,6 +86,13 @@ inline std::vector<stats::TaskbenchCell>& taskbench_cells() {
   return cells;
 }
 
+/// Collective-tree sweep cells accumulated by the collectives driver;
+/// exported as the stats JSON's "collectives" section when non-empty.
+inline std::vector<stats::CollectivesCell>& collectives_cells() {
+  static std::vector<stats::CollectivesCell> cells;
+  return cells;
+}
+
 namespace detail {
 
 /// One row of the option table.  `arg` == nullptr marks a boolean flag;
@@ -315,6 +322,7 @@ inline int finish() {
     meta.series = series().tables;
     meta.notes = series().notes;
     meta.taskbench = taskbench_cells();
+    meta.collectives = collectives_cells();
     meta.label = entry_labeler();
     if (!stats::write_json_file(report, meta, options().stats_file)) {
       std::fprintf(stderr, "failed to write stats to %s\n", options().stats_file.c_str());

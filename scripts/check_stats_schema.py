@@ -39,7 +39,9 @@ TOP_KEYS = [
     "phases", "critical_path",
 ]
 # The taskbench bench adds an overhead-surface section between "notes" and
-# "totals"; every other bench keeps the original key list bit-for-bit.
+# "totals", and the collectives bench a tree-sweep section in the same slot
+# (after taskbench when both appear); every other bench keeps the original
+# key list bit-for-bit.
 TOP_KEYS_TASKBENCH = TOP_KEYS[:9] + ["taskbench"] + TOP_KEYS[9:]
 TASKBENCH_CELL_KEYS = [
     "pattern", "transport", "npes", "width", "steps", "grain",
@@ -47,6 +49,10 @@ TASKBENCH_CELL_KEYS = [
     "makespan", "ideal", "efficiency", "overhead_per_task", "tram_aggregation",
 ]
 TASKBENCH_PATTERNS = {"stencil_1d", "fft", "tree", "sweep", "random"}
+COLLECTIVES_CELL_KEYS = [
+    "topology", "arity", "npes", "elements", "rounds", "payload_doubles",
+    "msgs", "bytes", "partial_sends", "makespan", "time_per_round",
+]
 PE_KEYS = [
     "pe", "busy", "exec", "overhead", "idle", "execs", "queue_wait",
     "msgs_sent", "bytes_sent", "msgs_recv", "bytes_recv",
@@ -177,6 +183,44 @@ def check_taskbench_cells(cells):
         seen_ids.add(ident)
 
 
+def check_collectives_cells(cells):
+    expect(isinstance(cells, list) and cells,
+           "collectives: expected non-empty list")
+    seen_ids = set()
+    for i, c in enumerate(cells):
+        where = f"collectives[{i}]"
+        expect_keys(c, COLLECTIVES_CELL_KEYS, where)
+        expect(c["topology"] in ("flat", "tree"),
+               f"{where}.topology: {c['topology']!r}")
+        arity = expect_num(c, "arity", where, minimum=0)
+        expect((c["topology"] == "tree") == (arity >= 2),
+               f"{where}: arity {arity} does not match topology "
+               f"{c['topology']!r} (flat => 0, tree => >= 2)")
+        npes = expect_num(c, "npes", where, minimum=1)
+        expect_num(c, "elements", where, minimum=1)
+        rounds = expect_num(c, "rounds", where, minimum=1)
+        expect_num(c, "payload_doubles", where, minimum=0)
+        expect_num(c, "msgs", where, minimum=1)
+        expect_num(c, "bytes", where, minimum=1)
+        partials = expect_num(c, "partial_sends", where, minimum=0)
+        if c["topology"] == "flat" or npes == 1:
+            expect(partials == 0,
+                   f"{where}: partial_sends {partials} under flat topology")
+        else:
+            expect(partials >= rounds,
+                   f"{where}: tree topology with {partials} partial_sends "
+                   f"over {rounds} rounds")
+        makespan = expect_num(c, "makespan", where, minimum=0)
+        expect(makespan > 0, f"{where}: makespan must be positive")
+        tpr = expect_num(c, "time_per_round", where, minimum=0)
+        expect(close(tpr, makespan / rounds, tol=1e-6),
+               f"{where}: time_per_round {tpr} != makespan/rounds")
+        ident = (c["topology"], arity, npes, c["elements"], rounds,
+                 c["payload_doubles"])
+        expect(ident not in seen_ids, f"{where}: duplicate cell {ident}")
+        seen_ids.add(ident)
+
+
 def check(path):
     with open(path, "rb") as f:
         raw = f.read()
@@ -188,8 +232,14 @@ def check(path):
         return
 
     has_taskbench = "taskbench" in doc
-    expect_keys(doc, TOP_KEYS_TASKBENCH if has_taskbench else TOP_KEYS,
-                "top level")
+    has_collectives = "collectives" in doc
+    top_keys = TOP_KEYS[:9]
+    if has_taskbench:
+        top_keys = top_keys + ["taskbench"]
+    if has_collectives:
+        top_keys = top_keys + ["collectives"]
+    top_keys = top_keys + TOP_KEYS[9:]
+    expect_keys(doc, top_keys, "top level")
     expect(doc["schema"] == SCHEMA, f"schema: {doc['schema']!r} != {SCHEMA!r}")
     expect(doc["version"] == VERSION, f"version: {doc['version']} != {VERSION}")
     expect(isinstance(doc["bench"], str) and doc["bench"], "bench: empty")
@@ -212,6 +262,8 @@ def check(path):
     expect(all(isinstance(n, str) for n in doc["notes"]), "notes: non-string entry")
     if has_taskbench:
         check_taskbench_cells(doc["taskbench"])
+    if has_collectives:
+        check_collectives_cells(doc["collectives"])
 
     expect_keys(doc["totals"], ["busy", "exec", "overhead", "execs"], "totals")
     t_busy = expect_num(doc["totals"], "busy", "totals", minimum=0)

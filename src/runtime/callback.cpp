@@ -13,8 +13,11 @@ void Callback::invoke(Runtime& rt, ReductionResult&& result) const {
       break;
     case Kind::kFunction: {
       // The result moves into the (move-only) control handler directly.
+      // Whatever buffers the consumer leaves behind go back to the pools,
+      // closing the zero-allocation reduction cycle (DESIGN.md §10).
       rt.send_control(pe_, 64, [fn = fn_, result = std::move(result)]() mutable {
         (*fn)(std::move(result));
+        Runtime::current().release_result_buffers(std::move(result));
       });
       break;
     }

@@ -27,7 +27,9 @@ void ArrayElementBase::contribute(std::vector<double> value, ReduceOp op,
 }
 
 void ArrayElementBase::contribute(double value, ReduceOp op, const Callback& cb) {
-  contribute(std::vector<double>{value}, op, cb);
+  // Scalar fast path: combines in place into a pooled buffer instead of
+  // building a one-element vector per contribution.
+  rt().contribute_scalar(*this, value, op, cb);
 }
 
 void ArrayElementBase::contribute(const Callback& cb) {

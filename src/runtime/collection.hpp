@@ -28,24 +28,39 @@ struct HomeRecord {
   std::vector<Envelope> buffered;        ///< messages parked during migration
 };
 
+/// One reduction's combined state.  Used both as the collection-global slot
+/// (flat combine / tree bookkeeping) and as a per-PE partial combine under
+/// tree collectives (DESIGN.md §10).
+struct ReduxSlot {
+  std::int64_t count = 0;
+  bool has_nums = false;
+  ReduceOp op = ReduceOp::kSum;
+  std::vector<double> nums;
+  std::vector<std::vector<std::byte>> chunks;
+  Callback cb;
+  Time last_contribution = 0;
+  /// Tree up-sweep: child partials still expected before this PE forwards
+  /// its combined partial to its parent (0 outside an active wave).
+  std::int32_t wave_remaining = 0;
+};
+
+using ReduxMap = std::unordered_map<std::uint64_t, ReduxSlot>;
+
 struct PeLocal {
   std::unordered_map<ObjIndex, std::unique_ptr<ArrayElementBase>, ObjIndexHash> elems;
   std::unordered_map<ObjIndex, HomeRecord, ObjIndexHash> home;
   std::unordered_map<ObjIndex, int, ObjIndexHash> loc_cache;
+  /// Per-PE partial combines under tree collectives, keyed by sequence.
+  ReduxMap partial;
+  /// Recycled map node: the steady state extracts one partial per wave and
+  /// reuses its node for the next, so tree reductions allocate nothing.
+  ReduxMap::node_type partial_spare;
 };
 
 /// A chare array or group instance.
 class Collection {
  public:
-  struct ReduxSlot {
-    std::int64_t count = 0;
-    bool has_nums = false;
-    ReduceOp op = ReduceOp::kSum;
-    std::vector<double> nums;
-    std::vector<std::vector<std::byte>> chunks;
-    Callback cb;
-    Time last_contribution = 0;
-  };
+  using ReduxSlot = charm::ReduxSlot;
 
   CollectionId id = -1;
   ChareTypeId type = -1;
@@ -59,7 +74,9 @@ class Collection {
   std::int64_t total_elements = 0;
 
   /// In-flight reductions keyed by sequence number.
-  std::unordered_map<std::uint64_t, ReduxSlot> redux;
+  ReduxMap redux;
+  /// Recycled map node (see PeLocal::partial_spare).
+  ReduxMap::node_type redux_spare;
   /// Reduction number newly created elements join: dynamically inserted
   /// chares (AMR refinement) must not restart at sequence 0 while existing
   /// chares are at N, or collection-wide reductions would never complete.

@@ -1,16 +1,18 @@
 #pragma once
-// Free-list pool recycling std::vector<std::byte> capacity across messages.
+// Free-list pools recycling std::vector capacity across messages.
 //
 // Every point send packs its argument into a payload vector, ships it inside
 // an Envelope, and unpacks it at the destination — after which the vector
 // dies.  Without pooling that is one allocation and one free per message.
-// The pool keeps dead payload buffers (their capacity, not their contents)
-// on a LIFO free list; the next send reuses the hottest buffer, so the
-// steady state allocates nothing as long as payloads fit the retained
-// capacity (kSmallBytes after first reuse).
+// A pool keeps dead buffers (their capacity, not their contents) on a LIFO
+// free list; the next acquire reuses the hottest buffer, so the steady state
+// allocates nothing as long as payloads fit the retained capacity.
 //
-// The pool never shrinks a buffer and never zeroes memory — callers receive
-// an *empty* vector with capacity >= their reservation and append into it.
+// Pools never shrink a buffer and never zero memory — callers receive an
+// *empty* vector with capacity >= their reservation and append into it.
+//
+// VecPool is the shared mechanism; PayloadPool (bytes, message payloads) and
+// NumsPool (doubles, reduction contribution buffers) are its instantiations.
 
 #include <cstddef>
 #include <cstdint>
@@ -19,49 +21,41 @@
 
 namespace charm {
 
-class PayloadPool {
+/// Free-list pool over std::vector<T>.  `kSmall` is the element count every
+/// recycled buffer is grown to (the "small size class" served allocation-free
+/// once warm); buffers above `kMaxRetained` elements are freed rather than
+/// retained; at most `kMaxFree` buffers are kept.
+template <class T, std::size_t kSmall, std::size_t kMaxRetained,
+          std::size_t kMaxFree>
+class VecPool {
  public:
-  /// Buffers are grown to at least this capacity when recycled, so any
-  /// payload up to kSmallBytes is served allocation-free after the pool
-  /// warms up (the "small size class").
-  static constexpr std::size_t kSmallBytes = 1024;
-  /// Buffers with more capacity than this are freed rather than retained
-  /// (one giant checkpoint payload must not pin memory forever).
-  static constexpr std::size_t kMaxRetainedBytes = 1 << 16;
-  /// Upper bound on retained buffers.  Sized for a burst handler that sends
-  /// a few thousand messages in one go — they are all in flight (holding
-  /// pool buffers) before the first delivery releases one, and the *next*
-  /// burst should still be served allocation-free.  Worst case pinned
-  /// memory: kMaxFreeBuffers * kSmallBytes = 4 MiB.
-  static constexpr std::size_t kMaxFreeBuffers = 4096;
-
-  /// Returns an empty vector with capacity >= reserve_bytes.
-  std::vector<std::byte> acquire(std::size_t reserve_bytes) {
+  /// Returns an empty vector with capacity >= reserve_elems.
+  std::vector<T> acquire(std::size_t reserve_elems) {
     if (!free_.empty()) {
-      std::vector<std::byte> buf = std::move(free_.back());
+      std::vector<T> buf = std::move(free_.back());
       free_.pop_back();
-      if (buf.capacity() < reserve_bytes) {
+      if (buf.capacity() < reserve_elems) {
         ++grows_;
-        buf.reserve(reserve_bytes);
+        buf.reserve(reserve_elems);
       } else {
         ++hits_;
       }
       return buf;
     }
     ++misses_;
-    std::vector<std::byte> buf;
-    buf.reserve(reserve_bytes);
+    std::vector<T> buf;
+    buf.reserve(reserve_elems);
     return buf;
   }
 
-  /// Hands a dead payload's capacity back to the pool.
-  void release(std::vector<std::byte>&& buf) {
-    if (buf.capacity() == 0 || buf.capacity() > kMaxRetainedBytes ||
-        free_.size() >= kMaxFreeBuffers) {
+  /// Hands a dead buffer's capacity back to the pool.
+  void release(std::vector<T>&& buf) {
+    if (buf.capacity() == 0 || buf.capacity() > kMaxRetained ||
+        free_.size() >= kMaxFree) {
       return;  // let the vector free itself
     }
     buf.clear();
-    if (buf.capacity() < kSmallBytes) buf.reserve(kSmallBytes);
+    if (buf.capacity() < kSmall) buf.reserve(kSmall);
     free_.push_back(std::move(buf));
   }
 
@@ -72,10 +66,27 @@ class PayloadPool {
   std::uint64_t grows() const { return grows_; }
 
  private:
-  std::vector<std::vector<std::byte>> free_;
+  std::vector<std::vector<T>> free_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
   std::uint64_t grows_ = 0;
 };
+
+/// Message payload buffers.  Worst case pinned memory:
+/// kMaxFreeBuffers * kSmallBytes = 4 MiB — sized for a burst handler whose
+/// few thousand in-flight sends all hold buffers before the first delivery
+/// releases one.  kMaxRetainedBytes keeps one giant checkpoint payload from
+/// pinning memory forever.
+class PayloadPool : public VecPool<std::byte, 1024, (1u << 16), 4096> {
+ public:
+  static constexpr std::size_t kSmallBytes = 1024;
+  static constexpr std::size_t kMaxRetainedBytes = 1 << 16;
+  static constexpr std::size_t kMaxFreeBuffers = 4096;
+};
+
+/// Reduction contribution buffers (vectors of doubles): per-contribution and
+/// per-level partial-combine values cycle through here so steady-state POD
+/// reductions allocate nothing (DESIGN.md §10).
+using NumsPool = VecPool<double, 256, (1u << 13), 1024>;
 
 }  // namespace charm

@@ -1,11 +1,27 @@
 // Reductions over collections.
 //
-// Semantics are exact (contributions are combined as they arrive, completion
-// fires when every element of the collection has contributed to that sequence
-// number); the *cost* of the k-ary combine tree is modeled as a critical-path
-// wave after the last contribution (DESIGN.md §5).  Elements contribute in
-// program order; each element's n-th contribution joins the collection's n-th
-// reduction.
+// Semantics are exact: contributions are combined as they arrive and a
+// reduction completes when every element of the collection has contributed to
+// that sequence number.  Elements contribute in program order; each element's
+// n-th contribution joins the collection's n-th reduction.
+//
+// Two topologies (DESIGN.md §10):
+//
+//  * kFlat (seed behavior, byte-stable figure stats): contributions combine
+//    at a central slot and the cost of the k-ary combine tree is *modeled*
+//    as a critical-path wave after the last contribution.
+//
+//  * kTree: contributions combine into a per-PE partial; once every element
+//    has contributed the wave is frozen and each partial routes up a k-ary
+//    spanning tree (arity = tree_fanout, root = PE 0) as a real counted
+//    message, combining per level, until rank 0 holds the full result and
+//    invokes the callback.  Only PEs that hold partials — and their
+//    ancestors — participate, so a reduction contributed from one PE costs
+//    O(depth) messages, not O(P).
+//
+// Contribution buffers are pooled (NumsPool / PayloadPool) and map nodes are
+// recycled, so steady-state POD sum/min/max reductions allocate nothing
+// (operator-new-counting gate in tests/core/test_queues.cpp).
 
 #include <algorithm>
 #include <memory>
@@ -13,8 +29,107 @@
 #include <utility>
 
 #include "runtime/runtime.hpp"
+#include "runtime/spanning_tree.hpp"
 
 namespace charm {
+
+namespace {
+
+/// Elementwise combine of `nums` into `slot` (slot.has_nums already true).
+/// Matches the seed's widening rule: the slot grows to the widest
+/// contribution seen, missing entries treated as 0.
+void combine_nums(ReduxSlot& slot, const std::vector<double>& nums) {
+  if (nums.size() > slot.nums.size()) slot.nums.resize(nums.size(), 0.0);
+  for (std::size_t i = 0; i < nums.size(); ++i) {
+    switch (slot.op) {
+      case ReduceOp::kSum: slot.nums[i] += nums[i]; break;
+      case ReduceOp::kMin: slot.nums[i] = std::min(slot.nums[i], nums[i]); break;
+      case ReduceOp::kMax: slot.nums[i] = std::max(slot.nums[i], nums[i]); break;
+    }
+  }
+}
+
+/// First numeric contribution adopts the buffer and the op; later ones
+/// combine elementwise.
+void absorb_nums(ReduxSlot& slot, std::vector<double>&& nums, ReduceOp op,
+                 Runtime& rt) {
+  if (!slot.has_nums) {
+    rt.release_nums(std::move(slot.nums));  // recycled slot may hold capacity
+    slot.nums = std::move(nums);
+    slot.has_nums = true;
+    slot.op = op;
+  } else {
+    combine_nums(slot, nums);
+    rt.release_nums(std::move(nums));
+  }
+}
+
+/// Scalar combine-in-place: identical result to absorbing a one-element
+/// vector, but the value lands in a pooled buffer with no vector built at
+/// the call site.
+void absorb_scalar(ReduxSlot& slot, double value, ReduceOp op, Runtime& rt) {
+  if (!slot.has_nums) {
+    if (slot.nums.capacity() == 0) slot.nums = rt.acquire_nums(1);
+    slot.nums.clear();
+    slot.nums.push_back(value);
+    slot.has_nums = true;
+    slot.op = op;
+    return;
+  }
+  if (slot.nums.empty()) slot.nums.resize(1, 0.0);
+  switch (slot.op) {
+    case ReduceOp::kSum: slot.nums[0] += value; break;
+    case ReduceOp::kMin: slot.nums[0] = std::min(slot.nums[0], value); break;
+    case ReduceOp::kMax: slot.nums[0] = std::max(slot.nums[0], value); break;
+  }
+}
+
+/// Resets a recycled slot to its freshly-constructed state.  nums keeps its
+/// (pooled) capacity; chunks and cb were moved out / dropped at completion.
+void reset_slot(ReduxSlot& slot) {
+  slot.count = 0;
+  slot.has_nums = false;
+  slot.op = ReduceOp::kSum;
+  slot.nums.clear();
+  slot.chunks.clear();
+  slot.cb = Callback{};
+  slot.last_contribution = 0;
+  slot.wave_remaining = 0;
+}
+
+/// Modeled wire size of a partial-combine message body (seq + count + op /
+/// flags + the combined payload).
+std::size_t partial_body_bytes(const ReduxSlot& part) {
+  std::size_t body = 24 + 8 * part.nums.size();
+  for (const std::vector<std::byte>& chunk : part.chunks)
+    body += 8 + chunk.size();
+  return body;
+}
+
+}  // namespace
+
+ReduxSlot& Runtime::redux_slot(Collection& c, std::uint64_t seq) {
+  auto it = c.redux.find(seq);
+  if (it != c.redux.end()) return it->second;
+  if (c.redux_spare) {
+    c.redux_spare.key() = seq;
+    reset_slot(c.redux_spare.mapped());
+    return c.redux.insert(std::move(c.redux_spare)).position->second;
+  }
+  return c.redux[seq];
+}
+
+ReduxSlot& Runtime::partial_slot(Collection& c, int pe, std::uint64_t seq) {
+  PeLocal& pl = c.local(pe);
+  auto it = pl.partial.find(seq);
+  if (it != pl.partial.end()) return it->second;
+  if (pl.partial_spare) {
+    pl.partial_spare.key() = seq;
+    reset_slot(pl.partial_spare.mapped());
+    return pl.partial.insert(std::move(pl.partial_spare)).position->second;
+  }
+  return pl.partial[seq];
+}
 
 void Runtime::contribute(ArrayElementBase& elem, std::vector<double> nums, bool has_nums,
                          ReduceOp op, std::vector<std::byte> chunk, bool has_chunk,
@@ -24,26 +139,46 @@ void Runtime::contribute(ArrayElementBase& elem, std::vector<double> nums, bool 
     throw std::logic_error("contribute on an empty collection");
 
   const std::uint64_t seq = elem.redux_seq_++;
-  Collection::ReduxSlot& slot = c.redux[seq];
   charge(cfg_.contribute_cost);
 
-  if (has_nums) {
-    if (!slot.has_nums) {
-      slot.nums = std::move(nums);
-      slot.has_nums = true;
-      slot.op = op;
-    } else {
-      if (nums.size() > slot.nums.size()) slot.nums.resize(nums.size(), 0.0);
-      for (std::size_t i = 0; i < nums.size(); ++i) {
-        switch (slot.op) {
-          case ReduceOp::kSum: slot.nums[i] += nums[i]; break;
-          case ReduceOp::kMin: slot.nums[i] = std::min(slot.nums[i], nums[i]); break;
-          case ReduceOp::kMax: slot.nums[i] = std::max(slot.nums[i], nums[i]); break;
-        }
-      }
-    }
+  if (tree_collectives()) {
+    ReduxSlot& part = partial_slot(c, elem.pe_, seq);
+    if (has_nums) absorb_nums(part, std::move(nums), op, *this);
+    if (has_chunk) part.chunks.push_back(std::move(chunk));
+    ++part.count;
+    note_tree_contribution(c, seq, cb);
+    return;
   }
+
+  ReduxSlot& slot = redux_slot(c, seq);
+  if (has_nums) absorb_nums(slot, std::move(nums), op, *this);
   if (has_chunk) slot.chunks.push_back(std::move(chunk));
+  if (cb.valid()) slot.cb = cb;
+  ++slot.count;
+  slot.last_contribution = now();
+
+  if (slot.count >= c.total_elements) complete_reduction(c, seq);
+}
+
+void Runtime::contribute_scalar(ArrayElementBase& elem, double value, ReduceOp op,
+                                const Callback& cb) {
+  Collection& c = collection(elem.col_);
+  if (c.total_elements <= 0)
+    throw std::logic_error("contribute on an empty collection");
+
+  const std::uint64_t seq = elem.redux_seq_++;
+  charge(cfg_.contribute_cost);
+
+  if (tree_collectives()) {
+    ReduxSlot& part = partial_slot(c, elem.pe_, seq);
+    absorb_scalar(part, value, op, *this);
+    ++part.count;
+    note_tree_contribution(c, seq, cb);
+    return;
+  }
+
+  ReduxSlot& slot = redux_slot(c, seq);
+  absorb_scalar(slot, value, op, *this);
   if (cb.valid()) slot.cb = cb;
   ++slot.count;
   slot.last_contribution = now();
@@ -54,11 +189,13 @@ void Runtime::contribute(ArrayElementBase& elem, std::vector<double> nums, bool 
 void Runtime::complete_reduction(Collection& c, std::uint64_t seq) {
   c.redux_floor = std::max(c.redux_floor, seq + 1);
   auto node = c.redux.extract(seq);
-  Collection::ReduxSlot& slot = node.mapped();
+  ReduxSlot& slot = node.mapped();
   ReductionResult result;
   result.nums = std::move(slot.nums);
   result.chunks = std::move(slot.chunks);
   const Callback cb = slot.cb;
+  slot.cb = Callback{};
+  c.redux_spare = std::move(node);  // recycle the map node
 
   // Critical-path cost of the combine tree after the last contribution.
   // The result moves straight into the completion closure (no shared_ptr
@@ -72,11 +209,156 @@ void Runtime::complete_reduction(Collection& c, std::uint64_t seq) {
   });
 }
 
+// ---- tree up-sweep (DESIGN.md §10) -------------------------------------------
+
+void Runtime::note_tree_contribution(Collection& c, std::uint64_t seq,
+                                     const Callback& cb) {
+  ReduxSlot& g = redux_slot(c, seq);
+  if (cb.valid()) g.cb = cb;
+  ++g.count;
+  g.last_contribution = now();
+  if (g.count >= c.total_elements) start_tree_upsweep(c, seq);
+}
+
+void Runtime::start_tree_upsweep(Collection& c, std::uint64_t seq) {
+  // Freeze: every element has contributed, so the set of PEs holding
+  // partials is final.  Advance the floor exactly like the flat path and
+  // retire the global bookkeeping slot.
+  c.redux_floor = std::max(c.redux_floor, seq + 1);
+  auto node = c.redux.extract(seq);
+  const Callback cb = node.mapped().cb;
+  node.mapped().cb = Callback{};
+  c.redux_spare = std::move(node);
+
+  const SpanningTree tree(active_pes_, /*root=*/0, cfg_.tree_fanout);
+  const int P = active_pes_;
+  redux_on_path_.assign(static_cast<std::size_t>(P), 0);
+
+  // Mark every PE holding a partial, plus its ancestors up to rank 0.
+  // Reduction ranks are the PE numbers themselves (root 0, where flat
+  // completions fire), so rel == abs here.
+  for (int p = 0; p < P; ++p) {
+    if (c.local(p).partial.find(seq) == c.local(p).partial.end()) continue;
+    for (int r = p;;) {
+      if (redux_on_path_[static_cast<std::size_t>(r)]) break;
+      redux_on_path_[static_cast<std::size_t>(r)] = 1;
+      if (r == 0) break;
+      r = tree.parent(r);
+    }
+  }
+
+  // Arm every participant with the number of child partials it must absorb;
+  // sources (no on-path children) launch immediately via a kick posted to
+  // their own PE so the partial departs from where the data lives.  The
+  // kick keeps QD open by hand — timer posts are not counted.
+  for (int r = 0; r < P; ++r) {
+    if (!redux_on_path_[static_cast<std::size_t>(r)]) continue;
+    ReduxSlot& part = partial_slot(c, r, seq);
+    if (r == 0) part.cb = cb;  // rank 0's slot carries the callback
+    int kids = 0;
+    for (int i = 1; i <= tree.arity; ++i) {
+      const long child = tree.child(r, i);
+      if (child < P && redux_on_path_[static_cast<std::size_t>(child)]) ++kids;
+    }
+    part.wave_remaining = kids;
+    if (kids == 0) {
+      const CollectionId col = c.id;
+      ++outstanding_;
+      machine_.post(r, now(), [this, col, seq, r]() {
+        send_tree_partial(col, seq, r);
+        note_message_done();
+      });
+    }
+  }
+}
+
+void Runtime::send_tree_partial(CollectionId col, std::uint64_t seq, int rank) {
+  Collection& c = collection(col);
+  if (rank == 0) {
+    complete_tree_root(c, seq);
+    return;
+  }
+  const SpanningTree tree(active_pes_, /*root=*/0, cfg_.tree_fanout);
+  const int parent = tree.parent(rank);
+  PeLocal& pl = c.local(rank);
+  auto node = pl.partial.extract(seq);
+  if (!node) return;  // cleared mid-wave (FT rollback)
+  ReduxSlot& part = node.mapped();
+  const std::int64_t count = part.count;
+  const bool has_nums = part.has_nums;
+  const ReduceOp op = part.op;
+  const std::size_t body = partial_body_bytes(part);
+  std::vector<double> nums = std::move(part.nums);
+  std::vector<std::vector<std::byte>> chunks = std::move(part.chunks);
+  part.cb = Callback{};
+  pl.partial_spare = std::move(node);
+
+  ++redux_partials_sent_;
+  send_control(parent, body,
+               [this, col, seq, count, has_nums, op, nums = std::move(nums),
+                chunks = std::move(chunks)]() mutable {
+                 tree_partial_arrive(col, seq, count, has_nums, op,
+                                     std::move(nums), std::move(chunks));
+               });
+}
+
+void Runtime::tree_partial_arrive(CollectionId col, std::uint64_t seq,
+                                  std::int64_t count, bool has_nums, ReduceOp op,
+                                  std::vector<double>&& nums,
+                                  std::vector<std::vector<std::byte>>&& chunks) {
+  Collection& c = collection(col);
+  const int rank = machine_.current_pe();
+  ReduxSlot& part = partial_slot(c, rank, seq);
+  charge(cfg_.contribute_cost);  // per-level combine work
+  part.count += count;
+  if (has_nums) {
+    absorb_nums(part, std::move(nums), op, *this);
+  } else {
+    release_nums(std::move(nums));
+  }
+  for (std::vector<std::byte>& chunk : chunks)
+    part.chunks.push_back(std::move(chunk));
+  // A partial arriving outside an armed wave (state cleared by an FT
+  // rollback mid-flight) parks here until the next clear_reductions.
+  if (--part.wave_remaining == 0) send_tree_partial(col, seq, rank);
+}
+
+void Runtime::complete_tree_root(Collection& c, std::uint64_t seq) {
+  PeLocal& pl = c.local(0);
+  auto node = pl.partial.extract(seq);
+  if (!node) return;  // cleared mid-wave (FT rollback)
+  ReduxSlot& part = node.mapped();
+  ReductionResult result;
+  result.nums = std::move(part.nums);
+  result.chunks = std::move(part.chunks);
+  const Callback cb = part.cb;
+  part.cb = Callback{};
+  pl.partial_spare = std::move(node);
+  if (cb.valid()) cb.invoke(*this, std::move(result));
+}
+
 void Runtime::clear_reductions(CollectionId col) {
   // FT rollback: in-flight slots are dropped and the floor resets; restored
   // elements carry their own (mutually consistent) checkpointed sequence.
-  collection(col).redux.clear();
-  collection(col).redux_floor = 0;
+  // Per-PE partial combines — including waves an LB migration or failure
+  // left mid-flight — are released too, or a stale partial would combine
+  // into a later reduction that reuses its sequence number.
+  Collection& c = collection(col);
+  for (auto& [seq, slot] : c.redux) {
+    release_nums(std::move(slot.nums));
+    for (std::vector<std::byte>& chunk : slot.chunks)
+      release_payload(std::move(chunk));
+  }
+  c.redux.clear();
+  for (PeLocal& pl : c.pe) {
+    for (auto& [seq, part] : pl.partial) {
+      release_nums(std::move(part.nums));
+      for (std::vector<std::byte>& chunk : part.chunks)
+        release_payload(std::move(chunk));
+    }
+    pl.partial.clear();
+  }
+  c.redux_floor = 0;
 }
 
 }  // namespace charm

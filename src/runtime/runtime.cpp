@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "lb/manager.hpp"
+#include "runtime/spanning_tree.hpp"
 #include "trace/trace.hpp"
 
 namespace charm {
@@ -254,10 +255,7 @@ void Runtime::broadcast_tree_leg(CollectionId col, EntryId ep,
         if (pe_alive(abs)) {
           // Forward down the spanning tree before local delivery so subtree
           // sends overlap with this PE's delivery work.
-          for (int i = 1; i <= cfg_.bcast_fanout; ++i) {
-            const int child = relative_rank * cfg_.bcast_fanout + i;
-            if (child < active_pes_) broadcast_tree_leg(col, ep, payload, priority, root, child);
-          }
+          broadcast_forward(col, ep, payload, priority, root, relative_rank);
           Collection& c = collection(col);
           auto& elems = c.local(abs).elems;
           std::vector<ObjIndex> snapshot;
@@ -273,6 +271,36 @@ void Runtime::broadcast_tree_leg(CollectionId col, EntryId ep,
         note_message_done();
       },
       /*src_override=*/0);
+}
+
+void Runtime::broadcast_forward(
+    CollectionId col, EntryId ep,
+    const std::shared_ptr<const std::vector<std::byte>>& payload, int priority,
+    int root, int relative_rank) {
+  if (cfg_.collectives == CollectiveTopology::kTree) {
+    // Tree mode fans down the collective tree (arity = tree_fanout) and
+    // reroutes around dead children: the sender skips a dead child and
+    // descends directly to its children, so every live PE still receives
+    // exactly one leg.
+    const SpanningTree tree(active_pes_, root, cfg_.tree_fanout);
+    for (int i = 1; i <= tree.arity; ++i) {
+      const long child = tree.child(relative_rank, i);
+      if (child >= active_pes_) continue;
+      const int c = static_cast<int>(child);
+      if (pe_alive(tree.abs(c))) {
+        broadcast_tree_leg(col, ep, payload, priority, root, c);
+      } else {
+        broadcast_forward(col, ep, payload, priority, root, c);
+      }
+    }
+    return;
+  }
+  // Flat (seed) behavior: send to every in-range child; a dead child drops
+  // the leg — and its subtree — at delivery time.
+  for (int i = 1; i <= cfg_.bcast_fanout; ++i) {
+    const int child = relative_rank * cfg_.bcast_fanout + i;
+    if (child < active_pes_) broadcast_tree_leg(col, ep, payload, priority, root, child);
+  }
 }
 
 void Runtime::broadcast_apply(CollectionId col, std::function<void(ArrayElementBase&)> fn,
@@ -293,10 +321,7 @@ void Runtime::broadcast_apply_leg(
       abs, Envelope::kHeaderBytes, priority,
       [this, col, fn, priority, root, relative_rank, abs]() {
         if (pe_alive(abs)) {
-          for (int i = 1; i <= cfg_.bcast_fanout; ++i) {
-            const int child = relative_rank * cfg_.bcast_fanout + i;
-            if (child < active_pes_) broadcast_apply_leg(col, fn, priority, root, child);
-          }
+          broadcast_apply_forward(col, fn, priority, root, relative_rank);
           Collection& c = collection(col);
           auto& elems = c.local(abs).elems;
           std::vector<ObjIndex> snapshot;
@@ -321,6 +346,30 @@ void Runtime::broadcast_apply_leg(
         note_message_done();
       },
       /*src_override=*/0);
+}
+
+void Runtime::broadcast_apply_forward(
+    CollectionId col,
+    const std::shared_ptr<std::function<void(ArrayElementBase&)>>& fn,
+    int priority, int root, int relative_rank) {
+  if (cfg_.collectives == CollectiveTopology::kTree) {
+    const SpanningTree tree(active_pes_, root, cfg_.tree_fanout);
+    for (int i = 1; i <= tree.arity; ++i) {
+      const long child = tree.child(relative_rank, i);
+      if (child >= active_pes_) continue;
+      const int c = static_cast<int>(child);
+      if (pe_alive(tree.abs(c))) {
+        broadcast_apply_leg(col, fn, priority, root, c);
+      } else {
+        broadcast_apply_forward(col, fn, priority, root, c);
+      }
+    }
+    return;
+  }
+  for (int i = 1; i <= cfg_.bcast_fanout; ++i) {
+    const int child = relative_rank * cfg_.bcast_fanout + i;
+    if (child < active_pes_) broadcast_apply_leg(col, fn, priority, root, child);
+  }
 }
 
 void Runtime::send_control(int dst, std::size_t bytes, sim::Handler fn,

@@ -32,6 +32,16 @@ class Manager;
 }
 using LbManager = lb::Manager;
 
+/// How collectives move data between PEs (DESIGN.md §10).
+///   kFlat: contributions combine at a central point; the k-ary tree's
+///          critical path is *modeled* as a wave latency (the seed behavior —
+///          figure stats are byte-stable under it).
+///   kTree: contributions combine per-PE and route up a k-ary spanning tree
+///          (arity = tree_fanout) as real counted messages with per-level
+///          combine; broadcasts fan down the same tree and reroute around
+///          dead interior PEs.
+enum class CollectiveTopology { kFlat, kTree };
+
 struct RuntimeConfig {
   int bcast_fanout = 4;           ///< spanning-tree fanout for broadcasts
   int tree_fanout = 4;            ///< reduction / QD tree fanout
@@ -39,6 +49,7 @@ struct RuntimeConfig {
   double create_cost = 0.5e-6;    ///< dynamic element construction cost (s)
   double contribute_cost = 0.1e-6;///< local reduction combine cost (s)
   double deliver_cost = 0.05e-6;  ///< per-element broadcast delivery cost (s)
+  CollectiveTopology collectives = CollectiveTopology::kFlat;
 };
 
 class Runtime {
@@ -160,6 +171,13 @@ class Runtime {
                   ReduceOp op, std::vector<std::byte> chunk, bool has_chunk,
                   const Callback& cb);
 
+  /// Scalar fast path: semantically identical to contributing a one-element
+  /// vector, but the value combines in place into a pooled buffer, so
+  /// steady-state POD sum/min/max reductions allocate nothing (gated by the
+  /// operator-new-counting test in tests/core/test_queues.cpp).
+  void contribute_scalar(ArrayElementBase& elem, double value, ReduceOp op,
+                         const Callback& cb);
+
   // ---- migration -----------------------------------------------------------
 
   /// Moves an element to `to_pe`.  Safe to call from within the element's own
@@ -200,6 +218,9 @@ class Runtime {
   std::uint64_t bytes_sent() const { return bytes_sent_; }
   std::uint64_t forwards() const { return forwards_; }
   std::int64_t outstanding() const { return outstanding_; }
+  /// Partial-combine messages routed up the reduction spanning tree (always
+  /// 0 under CollectiveTopology::kFlat).
+  std::uint64_t reduction_partials_sent() const { return redux_partials_sent_; }
 
   /// Modeled critical-path latency of a PE-tree wave (reductions, QD).
   double tree_wave_latency() const;
@@ -234,6 +255,22 @@ class Runtime {
     return buf;
   }
   const PayloadPool& payload_pool() const { return payload_pool_; }
+
+  /// Reduction contribution buffers (vectors of doubles) cycle through their
+  /// own pool so POD reductions are allocation-free at steady state.
+  std::vector<double> acquire_nums(std::size_t reserve_elems) {
+    return nums_pool_.acquire(reserve_elems);
+  }
+  void release_nums(std::vector<double>&& buf) {
+    nums_pool_.release(std::move(buf));
+  }
+  /// Recycles a consumed reduction result's buffers (callback completion).
+  void release_result_buffers(ReductionResult&& result) {
+    release_nums(std::move(result.nums));
+    for (std::vector<std::byte>& chunk : result.chunks)
+      release_payload(std::move(chunk));
+  }
+  const NumsPool& nums_pool() const { return nums_pool_; }
 
   /// Immediately performs the pack/send/install migration protocol; must be
   /// called from a handler on the owning PE (not the element's own handler —
@@ -349,9 +386,43 @@ class Runtime {
   void note_message_done();
   void maybe_fire_quiescence();
   void complete_reduction(Collection& c, std::uint64_t seq);
+
+  // ---- tree collectives (DESIGN.md §10) ------------------------------------
+  /// Real distributed reductions are active (kTree with more than one PE;
+  /// a single PE has no tree and takes the flat path).
+  bool tree_collectives() const {
+    return cfg_.collectives == CollectiveTopology::kTree && active_pes_ > 1;
+  }
+  /// Global / per-PE slot lookup with map-node recycling (no allocation once
+  /// a slot has completed and stashed its node as the spare).
+  ReduxSlot& redux_slot(Collection& c, std::uint64_t seq);
+  ReduxSlot& partial_slot(Collection& c, int pe, std::uint64_t seq);
+  /// Global bookkeeping for one tree-mode contribution; launches the
+  /// up-sweep when every element has contributed.
+  void note_tree_contribution(Collection& c, std::uint64_t seq, const Callback& cb);
+  void start_tree_upsweep(Collection& c, std::uint64_t seq);
+  /// Extracts rank's partial and sends it to the parent (completes at rank 0).
+  void send_tree_partial(CollectionId col, std::uint64_t seq, int rank);
+  void tree_partial_arrive(CollectionId col, std::uint64_t seq,
+                           std::int64_t count, bool has_nums, ReduceOp op,
+                           std::vector<double>&& nums,
+                           std::vector<std::vector<std::byte>>&& chunks);
+  void complete_tree_root(Collection& c, std::uint64_t seq);
+
   void broadcast_tree_leg(CollectionId col, EntryId ep,
                           std::shared_ptr<const std::vector<std::byte>> payload,
                           int priority, int root, int relative_rank);
+  /// Forwards a broadcast to the children of `relative_rank`: flat mode sends
+  /// to every in-range child (dead PEs drop the leg and its subtree, the seed
+  /// behavior); tree mode skips dead children and descends directly to their
+  /// children so every live PE is still reached exactly once.
+  void broadcast_forward(CollectionId col, EntryId ep,
+                         const std::shared_ptr<const std::vector<std::byte>>& payload,
+                         int priority, int root, int relative_rank);
+  void broadcast_apply_forward(
+      CollectionId col,
+      const std::shared_ptr<std::function<void(ArrayElementBase&)>>& fn,
+      int priority, int root, int relative_rank);
 
   sim::Machine& machine_;
   RuntimeConfig cfg_;
@@ -369,8 +440,13 @@ class Runtime {
   std::uint64_t msgs_sent_ = 0;
   std::uint64_t bytes_sent_ = 0;
   std::uint64_t forwards_ = 0;
+  std::uint64_t redux_partials_sent_ = 0;
 
   PayloadPool payload_pool_;
+  NumsPool nums_pool_;
+  /// Scratch for start_tree_upsweep's participant marking (capacity retained
+  /// across waves so arming a wave allocates nothing).
+  std::vector<std::uint8_t> redux_on_path_;
 
   std::unique_ptr<LbManager> lb_;
 

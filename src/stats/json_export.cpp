@@ -194,6 +194,38 @@ std::string to_json(const Report& r, const ExportMeta& meta) {
     w.close_arr();
   }
 
+  if (!meta.collectives.empty()) {
+    w.key("collectives");
+    w.open_arr();
+    for (const CollectivesCell& c : meta.collectives) {
+      w.open_obj();
+      w.key("topology");
+      w.str(c.topology);
+      w.key("arity");
+      w.num(c.arity);
+      w.key("npes");
+      w.num(c.npes);
+      w.key("elements");
+      w.num(c.elements);
+      w.key("rounds");
+      w.num(c.rounds);
+      w.key("payload_doubles");
+      w.num(c.payload_doubles);
+      w.key("msgs");
+      w.num(c.msgs);
+      w.key("bytes");
+      w.num(c.bytes);
+      w.key("partial_sends");
+      w.num(c.partial_sends);
+      w.key("makespan");
+      w.num(c.makespan);
+      w.key("time_per_round");
+      w.num(c.time_per_round);
+      w.close_obj();
+    }
+    w.close_arr();
+  }
+
   w.key("totals");
   w.open_obj();
   w.key("busy");

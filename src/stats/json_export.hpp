@@ -52,6 +52,25 @@ struct TaskbenchCell {
   double tram_aggregation = 0;
 };
 
+/// One cell of the collectives micro-bench sweep (DESIGN.md §10).  The
+/// identity keys (topology..payload_doubles) name the cell; the rest are the
+/// measured cost of a broadcast → contribute → completion round under that
+/// topology: virtual time per round plus the message/byte/partial-send
+/// counters the spanning tree generates.
+struct CollectivesCell {
+  std::string topology;   ///< "flat" or "tree"
+  int arity = 0;          ///< tree fanout k; 0 under flat
+  int npes = 0;
+  int elements = 0;
+  int rounds = 0;
+  int payload_doubles = 0;
+  std::uint64_t msgs = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t partial_sends = 0;  ///< tree partial-combine messages
+  double makespan = 0;
+  double time_per_round = 0;
+};
+
 struct ExportMeta {
   std::string bench;  ///< binary name, e.g. "fig11_namd_profiles"
   bool smoke = false;
@@ -60,6 +79,9 @@ struct ExportMeta {
   /// Overhead-surface cells; emitted as a "taskbench" section when non-empty
   /// (only the taskbench bench fills this, so figure JSON is unchanged).
   std::vector<TaskbenchCell> taskbench;
+  /// Collective-tree sweep cells; emitted as a "collectives" section when
+  /// non-empty (only the collectives bench fills this).
+  std::vector<CollectivesCell> collectives;
   EntryLabeler label;  ///< optional; default "col<c>.ep<e>" / "runtime"
 };
 

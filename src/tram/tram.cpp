@@ -115,6 +115,7 @@ void Core::flush_buffer(int pe, int peer, bool flush_through) {
   const std::size_t bytes = buf.payload_bytes + buf.count * params_.item_overhead;
   ++batches_;
   routed_items_ += buf.count;
+  batch_bytes_ += bytes;
 
   rt_.send_control(peer, bytes, [this, peer, flush_through, buf = std::move(buf)]() mutable {
     deliver_batch(peer, std::move(buf), flush_through);
@@ -160,6 +161,8 @@ void Core::flush_pe(int pe, bool flush_through) {
 
 void Core::flush_all() {
   for (int pe = 0; pe < rt_.npes(); ++pe) {
+    ++control_msgs_;
+    control_bytes_ += 16;
     rt_.send_control(pe, 16, [this, pe]() { flush_pe(pe, /*flush_through=*/true); });
   }
 }

@@ -95,6 +95,15 @@ class Core {
   double aggregation() const {
     return batches_ ? static_cast<double>(routed_items_) / static_cast<double>(batches_) : 0.0;
   }
+  /// Modeled wire bytes of all batch sends (frame payloads + per-item
+  /// overhead; the Envelope header is charged by send_control on top).
+  std::uint64_t batch_bytes() const { return batch_bytes_; }
+  /// Control-plane traffic: the flush_all fan-out messages that tell every
+  /// PE to drain its buffers, and their modeled bytes.  Together with
+  /// batch_bytes this accounts for every byte TRAM puts on the wire, so
+  /// benches can report aggregation overhead per item.
+  std::uint64_t control_messages() const { return control_msgs_; }
+  std::uint64_t control_bytes() const { return control_bytes_; }
 
  private:
   /// Per-item frame header preceding the pupped bytes in a batch buffer.
@@ -142,6 +151,9 @@ class Core {
   std::uint64_t items_ = 0;
   std::uint64_t routed_items_ = 0;
   std::uint64_t batches_ = 0;
+  std::uint64_t batch_bytes_ = 0;
+  std::uint64_t control_msgs_ = 0;
+  std::uint64_t control_bytes_ = 0;
 };
 
 /// Typed stream bound to one entry method of a chare array.

@@ -379,6 +379,149 @@ TEST(ZeroAlloc, SteadyStatePointSendDeliverDoesNotAllocate) {
   EXPECT_GT(pool.hits(), 0u);
 }
 
+// POD reductions recycle everything in steady state: contribution values land
+// in pooled NumsPool buffers, combine happens in place, map nodes cycle
+// through per-collection spares, and the result buffer returns to the pool
+// after the callback runs.  Rounds are driven sequentially (the completion
+// callback launches the next round) so exactly one reduction is in flight.
+class RoundContributor : public charm::ArrayElement<RoundContributor, std::int32_t> {
+ public:
+  void poke(charm::ReduceOp op) {
+    contribute(static_cast<double>(index()), op, cb);
+  }
+  static charm::Callback cb;
+};
+
+charm::Callback RoundContributor::cb;
+
+/// Sequential round driver: the completion callback launches the next round,
+/// so exactly one reduction is in flight and every pooled resource cycles.
+/// The callback is built once, outside the counted region; `drive` resets the
+/// round counter and re-launches without allocating.
+struct ReductionDriver {
+  charm::Runtime& rt;
+  std::vector<std::vector<RoundContributor*>>& by_pe;
+  int round = 0;
+  int target = 0;
+  int mismatches = 0;  ///< rounds whose result was wrong (checked in-callback)
+  double expect_sum = 0, expect_min = 0, expect_max = 0;
+
+  void launch() {
+    const charm::ReduceOp op = round % 3 == 0   ? charm::ReduceOp::kSum
+                               : round % 3 == 1 ? charm::ReduceOp::kMin
+                                                : charm::ReduceOp::kMax;
+    for (int pe = 0; pe < static_cast<int>(by_pe.size()); ++pe) {
+      rt.on_pe(pe, [this, pe, op] {
+        for (RoundContributor* e : by_pe[static_cast<std::size_t>(pe)]) e->poke(op);
+      });
+    }
+  }
+
+  void install_callback() {
+    RoundContributor::cb =
+        charm::Callback::to_function([this](charm::ReductionResult&& r) {
+          const double want = round % 3 == 0   ? expect_sum
+                              : round % 3 == 1 ? expect_min
+                                               : expect_max;
+          if (r.num(0) != want) ++mismatches;
+          if (++round < target) launch();
+        });
+  }
+
+  /// Runs `rounds` rounds; returns the number of wrong results (0 = all ok).
+  int drive(sim::Machine& m, int rounds) {
+    round = 0;
+    target = rounds;
+    mismatches = 0;
+    launch();
+    m.run();
+    return mismatches;
+  }
+};
+
+std::vector<std::vector<RoundContributor*>> elements_by_pe(
+    charm::Runtime& rt, charm::ArrayProxy<RoundContributor>& arr, int nelems) {
+  std::vector<std::vector<RoundContributor*>> by_pe(
+      static_cast<std::size_t>(rt.npes()));
+  for (int i = 0; i < nelems; ++i) {
+    for (int pe = 0; pe < rt.npes(); ++pe) {
+      auto* e = rt.collection(arr.id())
+                    .find(pe, charm::IndexTraits<std::int32_t>::encode(i));
+      if (e != nullptr)
+        by_pe[static_cast<std::size_t>(pe)].push_back(
+            static_cast<RoundContributor*>(e));
+    }
+  }
+  return by_pe;
+}
+
+TEST(ZeroAlloc, SteadyStateScalarReductionDoesNotAllocate) {
+  sim::Machine m(sim::MachineConfig{8, {}, 4});
+  charm::Runtime rt(m);
+  auto arr = charm::ArrayProxy<RoundContributor>::create(rt);
+  for (int i = 0; i < 32; ++i) arr.seed(i, i % 8);
+  auto by_pe = elements_by_pe(rt, arr, 32);
+  ReductionDriver d{rt, by_pe};
+  d.expect_sum = 31.0 * 32 / 2;
+  d.expect_min = 0.0;
+  d.expect_max = 31.0;
+  d.install_callback();
+
+  // Warm-up: populates the nums pool, the redux map-node spares, the event
+  // arena, and the closure block cache.
+  EXPECT_EQ(d.drive(m, 50), 0);
+
+  m.resume();
+  g_allocs = 0;
+  g_counting = true;
+  const int bad = d.drive(m, 500);
+  g_counting = false;
+  EXPECT_EQ(bad, 0);
+  EXPECT_EQ(g_allocs, 0u)
+      << "steady-state POD reductions must be allocation-free";
+
+  const charm::NumsPool& pool = rt.nums_pool();
+  EXPECT_GT(pool.hits(), 0u) << "contribution buffers must come from the pool";
+  EXPECT_GT(pool.free_buffers(), 0u)
+      << "result buffers must return to the pool after the callback";
+}
+
+TEST(ZeroAlloc, SteadyStateTreeReductionDoesNotAllocate) {
+  // Same gate on the distributed spanning-tree path: partial-combine slots,
+  // up-sweep kick closures, and partial messages must all recycle.
+  charm::RuntimeConfig cfg;
+  cfg.collectives = charm::CollectiveTopology::kTree;
+  cfg.tree_fanout = 2;
+  sim::Machine m(sim::MachineConfig{8, {}, 4});
+  charm::Runtime rt(m, cfg);
+  auto arr = charm::ArrayProxy<RoundContributor>::create(rt);
+  for (int i = 0; i < 32; ++i) arr.seed(i, i % 8);
+  auto by_pe = elements_by_pe(rt, arr, 32);
+  ReductionDriver d{rt, by_pe};
+  d.expect_sum = 31.0 * 32 / 2;
+  d.expect_min = 0.0;
+  d.expect_max = 31.0;
+  d.install_callback();
+
+  EXPECT_EQ(d.drive(m, 50), 0);
+  const std::uint64_t partials_before = rt.reduction_partials_sent();
+
+  m.resume();
+  g_allocs = 0;
+  g_counting = true;
+  const int bad = d.drive(m, 200);
+  g_counting = false;
+  EXPECT_EQ(bad, 0);
+  EXPECT_EQ(g_allocs, 0u)
+      << "steady-state tree reductions must be allocation-free";
+  EXPECT_EQ(rt.reduction_partials_sent() - partials_before, 200u * 7u)
+      << "every round routes one partial per non-root PE";
+
+  const charm::NumsPool& pool = rt.nums_pool();
+  EXPECT_GT(pool.hits(), 0u);
+  EXPECT_GT(pool.free_buffers(), 0u);
+}
+
 TEST(ZeroAlloc, SteadyStateSamePeTypedSendDoesNotAllocate) {
   // Same-PE sends take the typed fast path: the argument moves through an
   // in-flight slot embedded in the delivery closure — no pack, no unpack,

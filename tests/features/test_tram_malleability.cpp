@@ -82,6 +82,25 @@ TEST(Tram, AggregatesFineGrainedTraffic) {
       << "TRAM should pack many items per network message";
 }
 
+TEST(Tram, BatchAndControlCountersAccountForWireTraffic) {
+  Harness h(8);
+  auto arr = ArrayProxy<Sink>::create(h.rt);
+  for (int i = 0; i < 8; ++i) arr.seed(i, i);
+  tram::Stream<&Sink::take> stream(h.rt, arr, {.buffer_items = 16, .item_overhead = 8});
+  h.rt.on_pe(0, [&] {
+    for (int k = 0; k < 320; ++k) stream.send(static_cast<std::int32_t>(k % 7 + 1), ItemMsg{k});
+    stream.flush_all();
+  });
+  h.machine.run();
+  // Every item went somewhere, so batches carry payload plus the modeled
+  // per-item overhead; flush_all posts one 16-byte control message per PE.
+  EXPECT_EQ(stream.core().items_inserted(), 320u);
+  EXPECT_GT(stream.core().batch_bytes(), 320u * 8u)
+      << "batch bytes must include per-item overhead on top of payload";
+  EXPECT_EQ(stream.core().control_messages(), 8u);
+  EXPECT_EQ(stream.core().control_bytes(), 8u * 16u);
+}
+
 TEST(Tram, FewerMessagesThanDirectSends) {
   // The headline TRAM effect: message count collapses by the aggregation factor.
   const int items = 2000;

@@ -14,8 +14,17 @@ namespace charmtest {
 struct Harness {
   sim::Machine machine;
   charm::Runtime rt;
-  explicit Harness(int npes, sim::NetworkParams net = {}, int pes_per_chip = 4)
-      : machine(sim::MachineConfig{npes, net, pes_per_chip}), rt(machine) {}
+  explicit Harness(int npes, sim::NetworkParams net = {}, int pes_per_chip = 4,
+                   charm::RuntimeConfig cfg = {})
+      : machine(sim::MachineConfig{npes, net, pes_per_chip}), rt(machine, cfg) {}
+
+  /// Tree-collectives fixture: CollectiveTopology::kTree with the given arity.
+  static charm::RuntimeConfig tree_config(int arity) {
+    charm::RuntimeConfig cfg;
+    cfg.collectives = charm::CollectiveTopology::kTree;
+    cfg.tree_fanout = arity;
+    return cfg;
+  }
 
   /// Scans every PE for element `ix` of `col`; reports the owner via
   /// `pe_out` when found.

@@ -52,6 +52,19 @@ struct TbCell {
   double overhead_per_task = 0;
 };
 
+/// One cell of a collectives sweep (the "collectives" section).
+struct CollCell {
+  std::string id;  ///< identity: topology/arity/npes/elements/rounds/payload
+  std::string topology;
+  int arity = 0;
+  int npes = 0;
+  int rounds = 0;
+  double makespan = 0;
+  double time_per_round = 0;
+  double partial_sends = 0;
+  double msgs = 0;
+};
+
 struct Doc {
   std::string path;
   Value root;
@@ -61,6 +74,7 @@ struct Doc {
   int npes = 0;
   std::vector<EntryRow> entries;  ///< aggregated over PEs, sorted by busy desc
   std::vector<TbCell> taskbench;  ///< overhead-surface cells, file order
+  std::vector<CollCell> collectives;  ///< collective-tree cells, file order
 };
 
 bool load(const std::string& path, Doc& doc) {
@@ -123,6 +137,25 @@ bool load(const std::string& path, Doc& doc) {
                 " f" + std::to_string(static_cast<int>(c.num("fanout"))) + " s" +
                 std::to_string(static_cast<long long>(c.num("seed")));
       doc.taskbench.push_back(std::move(cell));
+    }
+  }
+  if (const Value* cv = doc.root.find("collectives"); cv != nullptr && cv->is_array()) {
+    for (const Value& c : cv->array) {
+      CollCell cell;
+      cell.topology = c.str("topology", "?");
+      cell.arity = static_cast<int>(c.num("arity"));
+      cell.npes = static_cast<int>(c.num("npes"));
+      cell.rounds = static_cast<int>(c.num("rounds"));
+      cell.makespan = c.num("makespan");
+      cell.time_per_round = c.num("time_per_round");
+      cell.partial_sends = c.num("partial_sends");
+      cell.msgs = c.num("msgs");
+      cell.id = cell.topology + " k" + std::to_string(cell.arity) + " P" +
+                std::to_string(cell.npes) + " e" +
+                std::to_string(static_cast<int>(c.num("elements"))) + " r" +
+                std::to_string(cell.rounds) + " pay" +
+                std::to_string(static_cast<int>(c.num("payload_doubles")));
+      doc.collectives.push_back(std::move(cell));
     }
   }
   doc.entries.reserve(agg.size());
@@ -208,6 +241,16 @@ void print_report(const Doc& d, int top) {
     for (const TbCell& c : d.taskbench) {
       std::printf("%-44s %12.6g %12.6g %8.3f %14.6g\n", c.id.c_str(), c.makespan,
                   c.ideal, c.efficiency, c.overhead_per_task);
+    }
+  }
+
+  if (!d.collectives.empty()) {
+    std::printf("\ncollectives sweep (%zu cells):\n", d.collectives.size());
+    std::printf("%-32s %12s %14s %12s %12s\n", "cell", "makespan_s", "time/round_s",
+                "msgs", "partials");
+    for (const CollCell& c : d.collectives) {
+      std::printf("%-32s %12.6g %14.6g %12.0f %12.0f\n", c.id.c_str(), c.makespan,
+                  c.time_per_round, c.msgs, c.partial_sends);
     }
   }
 
@@ -303,6 +346,41 @@ int diff(const Doc& a, const Doc& b, int top, double threshold_pct) {
     }
   }
 
+  // Collectives sweep: same per-cell gate as taskbench, on time-per-round.
+  if (!a.collectives.empty() || !b.collectives.empty()) {
+    std::map<std::string, const CollCell*> in_b;
+    for (const CollCell& c : b.collectives) in_b[c.id] = &c;
+    std::printf("\ncollectives sweep (%zu vs %zu cells):\n", a.collectives.size(),
+                b.collectives.size());
+    std::printf("%-32s %14s %14s %9s %12s\n", "cell", "A_t/round_s", "B_t/round_s",
+                "delta%", "B_partials");
+    for (const CollCell& ca : a.collectives) {
+      auto it = in_b.find(ca.id);
+      if (it == in_b.end()) {
+        std::printf("%-32s %14.6g %14s %9s %12s  MISSING\n", ca.id.c_str(),
+                    ca.time_per_round, "-", "-", "-");
+        ++failures;
+        continue;
+      }
+      const CollCell& cb = *it->second;
+      const double cell_pct =
+          ca.time_per_round > 0
+              ? 100.0 * (cb.time_per_round - ca.time_per_round) / ca.time_per_round
+              : 0;
+      const bool bad = cell_pct > threshold_pct;
+      std::printf("%-32s %14.6g %14.6g %+8.2f%% %12.0f%s\n", ca.id.c_str(),
+                  ca.time_per_round, cb.time_per_round, cell_pct, cb.partial_sends,
+                  bad ? "  REGRESSION" : "");
+      if (bad) ++failures;
+      in_b.erase(it);
+    }
+    for (const CollCell& cb : b.collectives) {
+      if (in_b.count(cb.id))
+        std::printf("%-32s %14s %14.6g %9s %12.0f  NEW\n", cb.id.c_str(), "-",
+                    cb.time_per_round, "-", cb.partial_sends);
+    }
+  }
+
   const double reg_pct = a.makespan > 0 ? 100.0 * (b.makespan - a.makespan) / a.makespan : 0;
   if (reg_pct > threshold_pct) {
     std::printf("\nREGRESSION: makespan +%.2f%% exceeds the %.2f%% threshold\n", reg_pct,
@@ -310,13 +388,15 @@ int diff(const Doc& a, const Doc& b, int top, double threshold_pct) {
     return 2;
   }
   if (failures > 0) {
-    std::printf("\nREGRESSION: %d taskbench cell(s) regressed past %.2f%% or went missing\n",
+    std::printf("\nREGRESSION: %d sweep cell(s) regressed past %.2f%% or went missing\n",
                 failures, threshold_pct);
     return 2;
   }
   std::printf("\nOK: makespan delta %+.2f%% within the %.2f%% threshold%s\n", reg_pct,
               threshold_pct,
-              a.taskbench.empty() ? "" : "; all taskbench cells within threshold");
+              a.taskbench.empty() && a.collectives.empty()
+                  ? ""
+                  : "; all sweep cells within threshold");
   return 0;
 }
 
