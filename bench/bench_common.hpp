@@ -15,6 +15,11 @@
 //                  usage profile, comm matrix, imbalance, and critical path
 //                  of the LAST traced run.  CI emits BENCH_<fig>.json this
 //                  way; inspect/diff with tools/statsview.
+//   --metrics[=SEC] attach the live introspection monitor (DESIGN.md §11) to
+//                  each machine, sampling every SEC virtual seconds (default
+//                  1e-3).  Adds "metrics_interval"/"timeseries"/"journal"
+//                  sections to the stats JSON; never perturbs virtual time,
+//                  so the figure series are unchanged.
 //   --mtbf=SEC     (fault-tolerant benches only) inject PE failures with the
 //                  given mean time between failures, in virtual seconds
 //   --failures=N   cap the number of injected failures (default 1)
@@ -27,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "introspect/metrics.hpp"
 #include "runtime/charm.hpp"
 #include "stats/json_export.hpp"
 #include "stats/report.hpp"
@@ -53,6 +59,8 @@ struct Options {
   bool smoke = false;       ///< tiny PE counts / few steps (CI sanity mode)
   std::string trace_file;   ///< Chrome trace_event output ("" = tracing off)
   std::string stats_file;   ///< analytics JSON output ("" = stats off)
+  bool metrics = false;     ///< attach the live introspection monitor
+  double metrics_interval = 1e-3;  ///< sampling cadence in virtual seconds
   double mtbf = 0;          ///< >0: inject failures with this MTBF (virtual s)
   int failures = 1;         ///< failure budget when mtbf > 0
   std::uint64_t fault_seed = 1;  ///< failure schedule seed
@@ -97,12 +105,15 @@ namespace detail {
 
 /// One row of the option table.  `arg` == nullptr marks a boolean flag;
 /// otherwise the flag is `--name=ARG` and `parse` gets the value (returning
-/// false to reject it with `error`).
+/// false to reject it with `error`).  `optional_value` additionally accepts
+/// the bare `--name` form, passing nullptr to `parse` (aggregate init leaves
+/// it false for four-field tables, so existing extra-flag tables are fine).
 struct FlagSpec {
   const char* name;
   const char* arg;
   const char* error;
   bool (*parse)(const char* value);
+  bool optional_value = false;
 };
 
 inline const FlagSpec* flag_table(std::size_t* count) {
@@ -122,6 +133,16 @@ inline const FlagSpec* flag_table(std::size_t* count) {
          options().stats_file = v;
          return true;
        }},
+      {"--metrics", "SEC", "needs a positive interval in virtual seconds",
+       [](const char* v) {
+         options().metrics = true;
+         if (v != nullptr) {
+           options().metrics_interval = std::strtod(v, nullptr);
+           return options().metrics_interval > 0;
+         }
+         return true;
+       },
+       /*optional_value=*/true},
       {"--mtbf", "SEC", "needs a positive time in seconds",
        [](const char* v) {
          options().mtbf = std::strtod(v, nullptr);
@@ -150,8 +171,14 @@ inline std::string flag_usage() {
     if (!usage.empty()) usage += ", ";
     usage += flags[i].name;
     if (flags[i].arg != nullptr) {
-      usage += "=";
-      usage += flags[i].arg;
+      if (flags[i].optional_value) {
+        usage += "[=";
+        usage += flags[i].arg;
+        usage += "]";
+      } else {
+        usage += "=";
+        usage += flags[i].arg;
+      }
     }
   }
   return usage;
@@ -188,6 +215,9 @@ inline int parse_args(int argc, char** argv, const detail::FlagSpec* extra = nul
                  a[len + 1] != '\0') {
         match = spec;
         value = a + len + 1;
+        break;
+      } else if (spec->optional_value && std::strcmp(a, spec->name) == 0) {
+        match = spec;  // bare `--name` form of an optional-value flag
         break;
       }
     }
@@ -274,18 +304,33 @@ inline trace::Tracer& shared_tracer() {
   return t;
 }
 
+/// The shared live-metrics monitor (one per bench process; each attach resets
+/// it, so the exported timeline describes the last attached run — the same
+/// machine the tracer describes).  Machine::~Machine clears the back-pointer,
+/// so the static monitor outliving per-run machines is safe.
+inline introspect::Monitor& shared_monitor() {
+  static introspect::Monitor m;
+  return m;
+}
+
 /// True when any tracer-backed output (--trace or --stats) was requested.
 inline bool tracing_requested() {
   return !options().trace_file.empty() || !options().stats_file.empty();
 }
 
-/// Attaches the shared tracer to `m` when --trace=FILE or --stats=FILE was
-/// given.  Call right after constructing each machine.
+/// Attaches the shared tracer (when --trace=FILE or --stats=FILE was given)
+/// and the live monitor (when --metrics was given) to `m`.  Call right after
+/// constructing each machine.
 inline void attach_trace(sim::Machine& m) {
-  if (!tracing_requested()) return;
-  shared_tracer().clear();
-  m.set_tracer(&shared_tracer());
-  options().traced_npes = m.npes();
+  if (tracing_requested()) {
+    shared_tracer().clear();
+    m.set_tracer(&shared_tracer());
+    options().traced_npes = m.npes();
+  }
+  if (options().metrics) {
+    shared_monitor().set_interval(options().metrics_interval);
+    shared_monitor().attach(m);
+  }
 }
 
 /// Labels entry spans with registered names (Registry::name_entry).
@@ -323,6 +368,12 @@ inline int finish() {
     meta.notes = series().notes;
     meta.taskbench = taskbench_cells();
     meta.collectives = collectives_cells();
+    if (options().metrics) {
+      shared_monitor().fill_export(meta.metrics);
+      std::printf("   metrics: %zu samples, %zu journal events (interval %g s)\n",
+                  meta.metrics.samples.size(), meta.metrics.journal.size(),
+                  meta.metrics.interval);
+    }
     meta.label = entry_labeler();
     if (!stats::write_json_file(report, meta, options().stats_file)) {
       std::fprintf(stderr, "failed to write stats to %s\n", options().stats_file.c_str());

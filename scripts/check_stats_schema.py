@@ -53,6 +53,16 @@ COLLECTIVES_CELL_KEYS = [
     "topology", "arity", "npes", "elements", "rounds", "payload_doubles",
     "msgs", "bytes", "partial_sends", "makespan", "time_per_round",
 ]
+# The live-introspection sections (--metrics runs, DESIGN.md §11) slot into
+# the same optional block, after any taskbench/collectives sections.
+TIMESERIES_KEYS = [
+    "t", "busy_max", "busy_avg", "lambda", "busy", "exec", "execs", "msgs",
+    "bytes", "coll_msgs", "coll_bytes", "msg_rate", "byte_rate", "ready",
+    "ready_hwm", "evq", "evq_hwm",
+]
+JOURNAL_KEYS = ["t", "kind", "aux", "value"]
+JOURNAL_KINDS = {"lb_round", "checkpoint", "restore", "failure", "shrink",
+                 "expand"}
 PE_KEYS = [
     "pe", "busy", "exec", "overhead", "idle", "execs", "queue_wait",
     "msgs_sent", "bytes_sent", "msgs_recv", "bytes_recv",
@@ -221,6 +231,72 @@ def check_collectives_cells(cells):
         seen_ids.add(ident)
 
 
+def check_metrics(doc):
+    interval = expect_num(doc, "metrics_interval", "top level")
+    expect(interval > 0, f"metrics_interval: {interval} not positive")
+    samples = doc["timeseries"]
+    expect(isinstance(samples, list), "timeseries: expected a list")
+    prev = None
+    for i, s in enumerate(samples):
+        where = f"timeseries[{i}]"
+        expect_keys(s, TIMESERIES_KEYS, where)
+        t = expect_num(s, "t", where, minimum=0)
+        # Sample times are exact multiples of the interval, hence strictly
+        # increasing; allow FP slack on the multiple itself.
+        expect(close(t, interval * (i + 1), tol=1e-9),
+               f"{where}.t: {t} != interval*{i + 1}")
+        if prev is not None:
+            expect(t > prev["t"], f"{where}.t: not strictly increasing")
+        busy_max = expect_num(s, "busy_max", where, minimum=0)
+        busy_avg = expect_num(s, "busy_avg", where, minimum=0)
+        lam = expect_num(s, "lambda", where, minimum=0)
+        expect(busy_max >= busy_avg - 1e-12, f"{where}: busy_max < busy_avg")
+        expect(lam == 0 or lam >= 1 - 1e-9,
+               f"{where}.lambda: {lam} (must be 0 or >= 1)")
+        if busy_avg > 0:
+            expect(close(lam, busy_max / busy_avg, tol=1e-9),
+                   f"{where}.lambda inconsistent with busy_max/busy_avg")
+        # Cumulative counters never decrease.
+        for key in ("busy", "exec", "execs", "msgs", "bytes", "coll_msgs",
+                    "coll_bytes"):
+            v = expect_num(s, key, where, minimum=0)
+            if prev is not None:
+                expect(v >= prev[key],
+                       f"{where}.{key}: cumulative counter decreased")
+        expect(s["coll_msgs"] <= s["msgs"], f"{where}: coll_msgs > msgs")
+        expect(s["coll_bytes"] <= s["bytes"], f"{where}: coll_bytes > bytes")
+        # Rates are the window deltas over the interval.
+        prev_msgs = prev["msgs"] if prev is not None else 0
+        prev_bytes = prev["bytes"] if prev is not None else 0
+        expect(close(s["msg_rate"], (s["msgs"] - prev_msgs) / interval,
+                     tol=1e-9),
+               f"{where}.msg_rate inconsistent with the msgs window delta")
+        expect(close(s["byte_rate"], (s["bytes"] - prev_bytes) / interval,
+                     tol=1e-9),
+               f"{where}.byte_rate inconsistent with the bytes window delta")
+        # Watermarks dominate the instantaneous depths at the boundary.
+        ready = expect_num(s, "ready", where, minimum=0)
+        ready_hwm = expect_num(s, "ready_hwm", where, minimum=0)
+        evq = expect_num(s, "evq", where, minimum=0)
+        evq_hwm = expect_num(s, "evq_hwm", where, minimum=0)
+        expect(ready_hwm >= ready, f"{where}: ready_hwm < ready")
+        expect(evq_hwm >= evq, f"{where}: evq_hwm < evq")
+        prev = s
+    journal = doc["journal"]
+    expect(isinstance(journal, list), "journal: expected a list")
+    prev_t = None
+    for i, e in enumerate(journal):
+        where = f"journal[{i}]"
+        expect_keys(e, JOURNAL_KEYS, where)
+        t = expect_num(e, "t", where, minimum=0)
+        if prev_t is not None:
+            expect(t >= prev_t, f"{where}.t: journal out of order")
+        prev_t = t
+        expect(e["kind"] in JOURNAL_KINDS, f"{where}.kind: {e['kind']!r}")
+        expect_num(e, "aux", where)
+        expect_num(e, "value", where)
+
+
 def check(path):
     with open(path, "rb") as f:
         raw = f.read()
@@ -233,11 +309,14 @@ def check(path):
 
     has_taskbench = "taskbench" in doc
     has_collectives = "collectives" in doc
+    has_metrics = "timeseries" in doc
     top_keys = TOP_KEYS[:9]
     if has_taskbench:
         top_keys = top_keys + ["taskbench"]
     if has_collectives:
         top_keys = top_keys + ["collectives"]
+    if has_metrics:
+        top_keys = top_keys + ["metrics_interval", "timeseries", "journal"]
     top_keys = top_keys + TOP_KEYS[9:]
     expect_keys(doc, top_keys, "top level")
     expect(doc["schema"] == SCHEMA, f"schema: {doc['schema']!r} != {SCHEMA!r}")
@@ -264,6 +343,8 @@ def check(path):
         check_taskbench_cells(doc["taskbench"])
     if has_collectives:
         check_collectives_cells(doc["collectives"])
+    if has_metrics:
+        check_metrics(doc)
 
     expect_keys(doc["totals"], ["busy", "exec", "overhead", "execs"], "totals")
     t_busy = expect_num(doc["totals"], "busy", "totals", minimum=0)

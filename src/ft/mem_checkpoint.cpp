@@ -81,6 +81,9 @@ void MemCheckpointer::checkpoint(Callback done) {
               ckpt_in_progress_ = false;
               if (trace::Tracer* tr = rt_.machine().tracer())
                 tr->phase_span(trace::Phase::kCheckpoint, 0, begin, rt_.now());
+              if (introspect::Monitor* mon = rt_.metrics())
+                mon->journal(introspect::JournalKind::kCheckpoint, rt_.now(), 0,
+                             static_cast<double>(total_bytes_));
               done.invoke(rt_, ReductionResult{});
             });
           });
@@ -116,6 +119,12 @@ void MemCheckpointer::on_failure(int victim, Callback done) {
     ++ckpt_aborted_;
   }
   rt_.set_pe_dead(victim, true);
+  // Injector-driven failures are journaled by Machine::fail_pe; a direct
+  // fail_and_recover() only marks the runtime dead mask, so journal it here.
+  if (!rt_.machine().pe_failed(victim)) {
+    if (introspect::Monitor* mon = rt_.metrics())
+      mon->journal(introspect::JournalKind::kFailure, rt_.now(), victim, 0.0);
+  }
   // The victim's in-memory state (its local copies and the buddy copies it
   // held for its predecessor) is lost with the process.
   local_[static_cast<std::size_t>(victim)].clear();
@@ -208,6 +217,10 @@ void MemCheckpointer::begin_restore() {
                 if (epoch_ != ep) return;
                 if (trace::Tracer* tr = rt_.machine().tracer())
                   tr->phase_span(trace::Phase::kRestore, 0, burst_begin_, rt_.now());
+                if (introspect::Monitor* mon = rt_.metrics())
+                  mon->journal(introspect::JournalKind::kRestore, rt_.now(),
+                               static_cast<int>(vs.size()),
+                               rt_.now() - burst_begin_);
                 RecoveryRecord rec;
                 rec.ordinal = recoveries_;
                 rec.fail_time = burst_begin_;

@@ -1,0 +1,306 @@
+#pragma once
+// Live introspection (DESIGN.md §11): an online metrics monitor that keeps
+// incremental per-PE counters on the emulator's hot path and snapshots them
+// at a configurable virtual-time cadence with ZERO virtual-time perturbation.
+//
+// The zero-perturbation contract is the tracer's (DESIGN.md §4), extended to
+// sampling: the Monitor attaches to a sim::Machine by pointer, every hook is
+// a plain counter update that never calls charge(), and sampling rides the
+// existing Machine::step boundaries — the sampler injects NO events of its
+// own, so the event order, every virtual clock, and every figure series are
+// bit-identical with metrics on or off.  The detached cost is one pointer
+// test per event.
+//
+// Three consumption surfaces:
+//   * live queries (Runtime::metrics()): per-PE busy/exec/utilization, ready
+//     and event-queue depths with high watermarks, per-(collection,entry)
+//     EWMA grain, locally computed imbalance λ — the hook the autoscaling /
+//     LB-trigger work consumes (ROADMAP);
+//   * a timeline: fixed-size POD samples recorded at t = k·interval (plus a
+//     decision journal of LB rounds, FT checkpoints/rollbacks, failures and
+//     malleability reconfigurations on the same clock), exported as the
+//     byte-deterministic "timeseries"/"journal" stats sections;
+//   * an OPT-IN reduction-based cluster summary: per-PE busy gathered up the
+//     PR-7 spanning tree as real counted control messages with per-level
+//     (max, sum, count) combine — consumers that want a λ computed by real
+//     traffic pay its (deterministic) virtual-time cost explicitly.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <utility>
+#include <vector>
+
+namespace sim {
+class Machine;
+}
+namespace charm {
+class Runtime;
+}
+namespace stats {
+struct MetricsMeta;
+}
+
+namespace introspect {
+
+/// Decision-journal event kinds, tagged onto the sample timeline.
+enum class JournalKind : std::uint8_t {
+  kLbRound,     ///< an LB strategy ran; aux = migrations, value = round cost (s)
+  kCheckpoint,  ///< FT checkpoint committed; value = checkpoint bytes
+  kRestore,     ///< FT rollback completed; aux = victims, value = recovery (s)
+  kFailure,     ///< a PE was quarantined; aux = victim PE
+  kShrink,      ///< malleability reconfig down; aux = target PEs, value = old
+  kExpand,      ///< malleability reconfig up; aux = target PEs, value = old
+};
+
+/// Stable wire name for a journal kind ("lb_round", "checkpoint", ...).
+const char* journal_kind_name(JournalKind k);
+
+struct JournalEvent {
+  double t = 0;
+  JournalKind kind{};
+  int aux = 0;
+  double value = 0;
+};
+
+/// Live cumulative counters for one PE (since attach).  `busy` counts entry-
+/// method virtual time and `exec` handler virtual time, matching the
+/// post-mortem stats::PeUsage definitions so the two reconcile on a run.
+struct PeCounters {
+  double busy = 0;
+  double exec = 0;
+  std::uint64_t execs = 0;
+  std::uint64_t msgs_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint32_t ready = 0;      ///< instantaneous ready-queue depth
+  std::uint32_t ready_hwm = 0;  ///< high watermark since attach
+};
+
+/// Per-(collection, entry) execution-grain statistics with an EWMA of the
+/// invocation grain (the live analogue of the post-mortem grain columns).
+struct EntryLoad {
+  std::uint64_t calls = 0;
+  double total = 0;
+  double ewma = 0;
+};
+
+/// One timeline sample.  Fixed-size POD: recording one writes these fields
+/// and touches nothing else, so steady-state sampling is allocation-free
+/// (gated by the operator-new-counting test).  Cumulative fields are
+/// since-attach totals; `*_hwm` are high watermarks over the sample window;
+/// rates are window deltas divided by the interval.
+struct Sample {
+  double t = 0;
+  double busy_max = 0;
+  double busy_avg = 0;
+  double lambda = 0;  ///< busy_max / busy_avg (0 while nothing ran)
+  double busy = 0;
+  double exec = 0;
+  std::uint64_t execs = 0;
+  std::uint64_t msgs = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t coll_msgs = 0;
+  std::uint64_t coll_bytes = 0;
+  double msg_rate = 0;
+  double byte_rate = 0;
+  std::uint64_t ready = 0;      ///< total ready depth at the sample boundary
+  std::uint64_t ready_hwm = 0;  ///< max total ready depth in the window
+  std::uint64_t evq = 0;        ///< global event-queue depth at the boundary
+  std::uint64_t evq_hwm = 0;    ///< max event-queue depth in the window
+};
+
+/// Result of a tree-summary wave (request_summary).
+struct ClusterSummary {
+  double t = -1;  ///< virtual time the wave completed (-1: none yet)
+  int pes = 0;
+  double busy_max = 0;
+  double busy_avg = 0;
+  double lambda = 0;
+};
+
+class Monitor {
+ public:
+  Monitor() = default;
+  ~Monitor() { detach(); }
+  Monitor(const Monitor&) = delete;
+  Monitor& operator=(const Monitor&) = delete;
+
+  // ---- lifecycle -------------------------------------------------------
+
+  /// Attaches to `m` (detaching from any previous machine) and resets all
+  /// counters, samples, and journal entries.
+  void attach(sim::Machine& m);
+  void detach();
+  bool attached() const { return machine_ != nullptr; }
+
+  /// Sampling cadence in virtual seconds; 0 disables the timeline (counters
+  /// stay live).  Takes effect from the next attach()/now, with boundaries
+  /// always at exact multiples of the interval.
+  void set_interval(double dt);
+  double interval() const { return interval_; }
+
+  /// Pre-sizes the sample buffer (default reserve kSampleReserve) so
+  /// steady-state sampling never reallocates inside the measured window.
+  void reserve_samples(std::size_t n) { samples_.reserve(n); }
+
+  // ---- live queries ----------------------------------------------------
+
+  int npes() const { return static_cast<int>(pes_.size()); }
+  const PeCounters& pe(int i) const { return pes_.at(static_cast<std::size_t>(i)); }
+  /// Virtual time of the most recent machine step.
+  double time() const { return last_time_; }
+  /// exec fraction of the PE's elapsed virtual time so far.
+  double utilization(int i) const {
+    return last_time_ > 0 ? pe(i).exec / last_time_ : 0;
+  }
+  /// λ = max/avg over cumulative per-PE busy (local read, no messages).
+  double imbalance() const;
+  double total_busy() const { return busy_; }
+  double total_exec() const { return exec_; }
+  std::uint64_t total_execs() const { return execs_; }
+  std::uint64_t total_msgs() const { return msgs_; }
+  std::uint64_t total_bytes() const { return bytes_; }
+  std::uint64_t collective_msgs() const { return coll_msgs_; }
+  std::uint64_t collective_bytes() const { return coll_bytes_; }
+  /// Total ready-queue population across PEs right now.
+  std::uint64_t ready_depth() const { return cur_ready_; }
+  /// Global event-queue depth as of the last step.
+  std::uint64_t event_queue_depth() const { return last_evq_; }
+
+  const std::map<std::pair<int, int>, EntryLoad>& entry_loads() const {
+    return entry_loads_;
+  }
+  const std::vector<Sample>& samples() const { return samples_; }
+  const std::vector<JournalEvent>& journal_events() const { return journal_; }
+  /// Samples not recorded because the buffer hit kSampleCap.
+  std::uint64_t dropped_samples() const { return dropped_samples_; }
+
+  // ---- decision journal ------------------------------------------------
+
+  void journal(JournalKind kind, double t, int aux, double value) {
+    journal_.push_back(JournalEvent{t, kind, aux, value});
+  }
+
+  // ---- opt-in tree summary (real counted messages) ---------------------
+
+  using SummaryFn = std::function<void(const ClusterSummary&)>;
+
+  /// Gathers (max, sum, count) of per-PE busy up the k-ary spanning tree
+  /// (arity = rt.config().tree_fanout, root 0, over active PEs) as real
+  /// counted control messages with per-level combine; the root computes the
+  /// global λ, stores it as last_summary(), and invokes `done`.  One wave at
+  /// a time; throws std::logic_error if a wave is already in flight.
+  void request_summary(charm::Runtime& rt, SummaryFn done = {});
+  bool summary_in_flight() const { return summary_.active; }
+  const ClusterSummary& last_summary() const { return last_summary_; }
+  /// Partial-combine messages sent by summary waves so far.
+  std::uint64_t summary_partials() const { return summary_partials_; }
+
+  // ---- export ----------------------------------------------------------
+
+  /// Fills the stats exporter's metrics block (interval, timeseries samples,
+  /// journal rows) for the "timeseries"/"journal" JSON sections.
+  void fill_export(stats::MetricsMeta& out) const;
+
+  // ---- hot-path hooks (called by Machine / Runtime) --------------------
+  // None of these charge virtual time; all are O(1) except the snapshot
+  // scan (O(P), only at a crossed sample boundary).
+
+  void on_send(int src, std::size_t bytes) {
+    PeCounters& pc = pes_[static_cast<std::size_t>(src)];
+    ++pc.msgs_sent;
+    pc.bytes_sent += bytes;
+    ++msgs_;
+    bytes_ += bytes;
+  }
+  void on_collective(std::size_t bytes) {
+    ++coll_msgs_;
+    coll_bytes_ += bytes;
+  }
+  void on_arrive(int pe, std::size_t ready_depth) { note_ready(pe, ready_depth); }
+  void on_exec(int pe, double span, std::size_t ready_depth) {
+    PeCounters& pc = pes_[static_cast<std::size_t>(pe)];
+    pc.exec += span;
+    ++pc.execs;
+    exec_ += span;
+    ++execs_;
+    note_ready(pe, ready_depth);
+  }
+  void on_queue_change(int pe, std::size_t ready_depth) { note_ready(pe, ready_depth); }
+  void on_entry(int pe, int col, int ep, double dt);
+  /// End of every Machine::step: refresh event-queue depth and record any
+  /// crossed sample boundaries (timestamps are exact multiples of the
+  /// interval, so the timeline is monotone and byte-deterministic).
+  void on_step(double now, std::size_t evq_depth) {
+    last_time_ = now;
+    last_evq_ = evq_depth;
+    if (evq_depth > evq_hwm_w_) evq_hwm_w_ = evq_depth;
+    if (interval_ > 0 && now >= next_boundary_) sample_up_to(now);
+  }
+  /// Called by Machine's destructor so a longer-lived Monitor never touches
+  /// a dead machine on the next attach().
+  void machine_gone() { machine_ = nullptr; }
+
+  static constexpr std::size_t kSampleReserve = 4096;
+  static constexpr std::size_t kSampleCap = 1u << 17;
+  static constexpr double kEwmaAlpha = 0.25;
+
+ private:
+  void reset(int npes);
+  void note_ready(int pe, std::size_t depth) {
+    PeCounters& pc = pes_[static_cast<std::size_t>(pe)];
+    const std::uint32_t d = static_cast<std::uint32_t>(depth);
+    cur_ready_ += d;
+    cur_ready_ -= pc.ready;
+    pc.ready = d;
+    if (d > pc.ready_hwm) pc.ready_hwm = d;
+    if (cur_ready_ > ready_hwm_w_) ready_hwm_w_ = cur_ready_;
+  }
+  void sample_up_to(double now);
+  void record_sample(double t);
+
+  // Tree-summary wave state (see metrics.cpp).
+  struct SummaryWave {
+    bool active = false;
+    int npes = 0;
+    int arity = 2;
+    std::vector<double> max, sum;
+    std::vector<int> cnt, pending;
+    SummaryFn done;
+  };
+  void summary_ready(charm::Runtime& rt, int rank);
+  void summary_arrive(charm::Runtime& rt, int rank, double mx, double sm, int ct);
+
+  sim::Machine* machine_ = nullptr;
+  double interval_ = 0;
+  double next_boundary_ = 0;
+  std::uint64_t sample_k_ = 0;
+
+  std::vector<PeCounters> pes_;
+  std::map<std::pair<int, int>, EntryLoad> entry_loads_;
+  double busy_ = 0;
+  double exec_ = 0;
+  std::uint64_t execs_ = 0;
+  std::uint64_t msgs_ = 0;
+  std::uint64_t bytes_ = 0;
+  std::uint64_t coll_msgs_ = 0;
+  std::uint64_t coll_bytes_ = 0;
+  std::uint64_t last_msgs_ = 0;   ///< window baselines for the rate fields
+  std::uint64_t last_bytes_ = 0;
+  std::uint64_t cur_ready_ = 0;
+  std::uint64_t ready_hwm_w_ = 0;
+  std::uint64_t last_evq_ = 0;
+  std::uint64_t evq_hwm_w_ = 0;
+  double last_time_ = 0;
+
+  std::vector<Sample> samples_;
+  std::uint64_t dropped_samples_ = 0;
+  std::vector<JournalEvent> journal_;
+
+  SummaryWave summary_;
+  ClusterSummary last_summary_;
+  std::uint64_t summary_partials_ = 0;
+};
+
+}  // namespace introspect

@@ -121,6 +121,13 @@ void Manager::round_complete() {
     reconfig_pending_ = false;
     pending_.did_lb = true;
     ++lb_invocations_;
+    if (introspect::Monitor* mon = rt_.metrics()) {
+      const auto kind = reconfig_target_ < rt_.active_pes()
+                            ? introspect::JournalKind::kShrink
+                            : introspect::JournalKind::kExpand;
+      mon->journal(kind, rt_.now(), reconfig_target_,
+                   static_cast<double>(rt_.active_pes()));
+    }
     rt_.set_active_pes(reconfig_target_);
     rt_.rebuild_location_tables();
     run_central(reconfig_target_);
@@ -227,6 +234,11 @@ void Manager::resume_all(double extra_delay) {
     if (trace::Tracer* tr = rt_.machine().tracer()) {
       tr->phase_span(trace::Phase::kLbStep, /*pe=*/0, round_started_, rt_.now(),
                      /*aux=*/pending_.did_lb ? pending_.migrations : -1);
+    }
+    if (pending_.did_lb) {
+      if (introspect::Monitor* mon = rt_.metrics())
+        mon->journal(introspect::JournalKind::kLbRound, rt_.now(),
+                     pending_.migrations, pending_.lb_cost);
     }
     history_.push_back(pending_);
     phase_ = Phase::kCollecting;

@@ -205,6 +205,8 @@ void Runtime::deliver_here(Envelope env, int pe) {
     const double end = machine_.now();
     tr->entry(pe, env.col, env.ep, end - dt, end);
   }
+  if (introspect::Monitor* mon = machine_.metrics())
+    mon->on_entry(pe, env.col, env.ep, dt);
 
   // The payload was fully consumed by the entry invocation above; recycle
   // its capacity before the (rare) destroy/migrate epilogue.
@@ -230,6 +232,7 @@ void Runtime::deliver_local(Collection& c, ArrayElementBase& elem, EntryId ep,
     const double end = machine_.now();
     tr->entry(pe, col, ep, end - dt, end);
   }
+  if (introspect::Monitor* mon = machine_.metrics()) mon->on_entry(pe, col, ep, dt);
   end_exec(f, col, idx, pe);
   (void)c;
 }
@@ -249,6 +252,7 @@ void Runtime::broadcast_tree_leg(CollectionId col, EntryId ep,
   ++outstanding_;
   ++msgs_sent_;
   bytes_sent_ += wire;
+  if (introspect::Monitor* mon = machine_.metrics()) mon->on_collective(wire);
   machine_.send(
       abs, wire, priority,
       [this, col, ep, payload, priority, root, relative_rank, abs]() {
@@ -317,6 +321,8 @@ void Runtime::broadcast_apply_leg(
   ++outstanding_;
   ++msgs_sent_;
   bytes_sent_ += Envelope::kHeaderBytes;
+  if (introspect::Monitor* mon = machine_.metrics())
+    mon->on_collective(Envelope::kHeaderBytes);
   machine_.send(
       abs, Envelope::kHeaderBytes, priority,
       [this, col, fn, priority, root, relative_rank, abs]() {
@@ -341,6 +347,8 @@ void Runtime::broadcast_apply_leg(
               const double end = machine_.now();
               tr->entry(abs, col, /*ep=*/-1, end - dt, end);
             }
+            if (introspect::Monitor* mon = machine_.metrics())
+              mon->on_entry(abs, col, /*ep=*/-1, dt);
           }
         }
         note_message_done();

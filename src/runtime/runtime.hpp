@@ -18,6 +18,7 @@
 #include <memory>
 #include <vector>
 
+#include "introspect/metrics.hpp"
 #include "pup/pup.hpp"
 #include "runtime/collection.hpp"
 #include "runtime/payload_pool.hpp"
@@ -212,6 +213,12 @@ class Runtime {
 
   LbManager& lb() { return *lb_; }
 
+  /// The live introspection monitor attached to the machine, or nullptr when
+  /// metrics are off (DESIGN.md §11).  Consumers query per-PE utilization,
+  /// queue depths, and imbalance mid-run; none of the calls charge virtual
+  /// time, so querying never perturbs the simulation.
+  introspect::Monitor* metrics() const { return machine_.metrics(); }
+
   // ---- statistics ------------------------------------------------------------
 
   std::uint64_t messages_sent() const { return msgs_sent_; }
@@ -372,6 +379,7 @@ class Runtime {
       const double end = machine_.now();
       tr->entry(pe, col, ep, end - dt, end);
     }
+    if (introspect::Monitor* mon = machine_.metrics()) mon->on_entry(pe, col, ep, dt);
     end_exec(f, col, idx, pe);
   }
   void destroy_local(CollectionId col, ObjIndex idx, int pe);

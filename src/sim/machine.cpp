@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "introspect/metrics.hpp"
 #include "sim/fault_injector.hpp"
 #include "trace/trace.hpp"
 
@@ -16,6 +17,10 @@ Machine::Machine(MachineConfig cfg)
   if (cfg.npes <= 0) throw std::invalid_argument("Machine: npes must be positive");
   // Pre-size the event list so the steady state never reallocates it.
   queue_.reserve(static_cast<std::size_t>(cfg.npes) * 8 + 64);
+}
+
+Machine::~Machine() {
+  if (metrics_ != nullptr) metrics_->machine_gone();
 }
 
 void Machine::charge(double seconds) {
@@ -46,6 +51,7 @@ void Machine::send(int dst, std::size_t bytes, int priority, Handler fn,
         net_.params().use_topology && src != dst ? topo_.hops(src, dst) : 0;
     tracer_->send(src, dst, bytes, hops, depart, at);
   }
+  if (metrics_ != nullptr) metrics_->on_send(src, bytes);
 }
 
 void Machine::post(int pe, Time at, Handler fn, int priority) {
@@ -94,19 +100,27 @@ bool Machine::step() {
       const bool redirected =
           dispose(pe, at, priority, bytes, std::move(fn), nullptr);
       if (injector_ != nullptr) injector_->note_inflight(pe, redirected);
+      if (metrics_ != nullptr) metrics_->on_step(time_, queue_.size());
       return true;
     }
     // The handler moves straight from the event arena into the ready ring.
     p.ready_.emplace(priority, at, seq, bytes, std::move(ev.fn));
     queue_.pop_top();
     schedule_exec(pe, at);
+    if (metrics_ != nullptr) {
+      metrics_->on_arrive(pe, p.ready_.size());
+      metrics_->on_step(time_, queue_.size());
+    }
     return true;
   }
   queue_.pop_top();
 
   // kExec: run the best-priority pending message to completion.
   p.exec_pending_ = false;
-  if (p.ready_.empty()) return true;  // spurious (message was stolen/cleared)
+  if (p.ready_.empty()) {  // spurious (message was stolen/cleared)
+    if (metrics_ != nullptr) metrics_->on_step(time_, queue_.size());
+    return true;
+  }
   ReadyMsg msg = p.ready_.pop();
 
   if (tracer_ != nullptr) {
@@ -125,6 +139,12 @@ bool Machine::step() {
   ctx_ = ExecCtx{};
 
   if (!p.ready_.empty()) schedule_exec(pe, p.clock_);
+  if (metrics_ != nullptr) {
+    // p.clock_ - at is the exact expression post-mortem stats derive from the
+    // trace (span end - begin), so live exec totals reconcile bit-exactly.
+    metrics_->on_exec(pe, p.clock_ - at, p.ready_.size());
+    metrics_->on_step(time_, queue_.size());
+  }
   return true;
 }
 
@@ -162,6 +182,11 @@ void Machine::fail_pe(int pe_id, FaultRecord* rec) {
   while (!p.ready_.empty()) {
     ReadyMsg msg = p.ready_.pop();
     dispose(pe_id, time_, msg.priority, msg.bytes, std::move(msg.fn), nullptr);
+  }
+  if (metrics_ != nullptr) {
+    metrics_->on_queue_change(pe_id, 0);
+    // Single journal site: covers both injector-driven and direct failures.
+    metrics_->journal(introspect::JournalKind::kFailure, time_, pe_id, 0.0);
   }
 }
 
@@ -201,7 +226,13 @@ bool Machine::dispose(int dead_pe, Time at, int priority, std::size_t bytes,
   ctx_ = ExecCtx{dead_pe, std::max(at, time_), 0.0};
   const bool was_recording = tracer_ != nullptr && tracer_->enabled();
   if (was_recording) tracer_->set_enabled(false);
+  // Suppress live metrics for the same reason tracing is suppressed: the
+  // quarantined execution is not real work, and counting its sends/entries
+  // would make live counters diverge from the post-mortem profile.
+  introspect::Monitor* mon = metrics_;
+  metrics_ = nullptr;
   fn();
+  metrics_ = mon;
   if (was_recording) tracer_->set_enabled(true);
   ctx_ = saved;
   return false;

@@ -29,6 +29,10 @@ namespace trace {
 class Tracer;
 }
 
+namespace introspect {
+class Monitor;
+}
+
 namespace sim {
 
 class FaultInjector;
@@ -69,6 +73,11 @@ class Pe {
 class Machine {
  public:
   explicit Machine(MachineConfig cfg);
+  /// Tells an attached metrics monitor the machine is gone so a long-lived
+  /// monitor never dereferences a destroyed machine on its next attach().
+  ~Machine();
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
 
   int npes() const { return static_cast<int>(pes_.size()); }
   Pe& pe(int i) { return pes_.at(static_cast<std::size_t>(i)); }
@@ -150,6 +159,15 @@ class Machine {
   void set_tracer(trace::Tracer* t) { tracer_ = t; }
   trace::Tracer* tracer() const { return tracer_; }
 
+  // ---- live metrics ----------------------------------------------------
+
+  /// Attaches an online metrics monitor (nullptr detaches).  Monitor hooks
+  /// never charge virtual time — same contract as the tracer: results are
+  /// identical with metrics on or off, and the detached cost is one pointer
+  /// test per event.  Normally set via introspect::Monitor::attach().
+  void set_metrics(introspect::Monitor* m) { metrics_ = m; }
+  introspect::Monitor* metrics() const { return metrics_; }
+
  private:
   struct ExecCtx {
     int pe = -1;
@@ -168,6 +186,7 @@ class Machine {
   Torus3D topo_;
   NetworkModel net_;
   trace::Tracer* tracer_ = nullptr;
+  introspect::Monitor* metrics_ = nullptr;
   FaultInjector* injector_ = nullptr;
   std::vector<Pe> pes_;
   EventQueue queue_;

@@ -226,6 +226,67 @@ std::string to_json(const Report& r, const ExportMeta& meta) {
     w.close_arr();
   }
 
+  if (meta.metrics.enabled) {
+    w.key("metrics_interval");
+    w.num(meta.metrics.interval);
+    w.key("timeseries");
+    w.open_arr();
+    for (const MetricsSample& s : meta.metrics.samples) {
+      w.open_obj();
+      w.key("t");
+      w.num(s.t);
+      w.key("busy_max");
+      w.num(s.busy_max);
+      w.key("busy_avg");
+      w.num(s.busy_avg);
+      w.key("lambda");
+      w.num(s.lambda);
+      w.key("busy");
+      w.num(s.busy);
+      w.key("exec");
+      w.num(s.exec);
+      w.key("execs");
+      w.num(s.execs);
+      w.key("msgs");
+      w.num(s.msgs);
+      w.key("bytes");
+      w.num(s.bytes);
+      w.key("coll_msgs");
+      w.num(s.coll_msgs);
+      w.key("coll_bytes");
+      w.num(s.coll_bytes);
+      w.key("msg_rate");
+      w.num(s.msg_rate);
+      w.key("byte_rate");
+      w.num(s.byte_rate);
+      w.key("ready");
+      w.num(s.ready);
+      w.key("ready_hwm");
+      w.num(s.ready_hwm);
+      w.key("evq");
+      w.num(s.evq);
+      w.key("evq_hwm");
+      w.num(s.evq_hwm);
+      w.close_obj();
+    }
+    w.close_arr();
+    w.key("journal");
+    w.open_arr();
+    for (const MetricsJournalRow& j : meta.metrics.journal) {
+      w.open_obj();
+      w.key("t");
+      w.num(j.t);
+      w.key("kind");
+      w.str(j.kind);
+      w.key("aux");
+      w.num(j.aux);
+      w.key("value");
+      w.num(j.value);
+      w.close_obj();
+    }
+    w.close_arr();
+  }
+
   w.key("totals");
   w.open_obj();
   w.key("busy");

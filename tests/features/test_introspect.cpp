@@ -1,0 +1,614 @@
+// Live introspection tests (DESIGN.md §11): the online Monitor's counters
+// must reconcile with the post-mortem trace-derived stats on the same run,
+// attaching it must not perturb virtual time by a single bit, the sample
+// timeline must be deterministic and monotone, steady-state sampling must be
+// allocation-free (operator-new-counting gate), mid-run queries must work
+// between machine phases, the opt-in tree summary must compute the global λ
+// with real counted messages, and the decision journal must record LB / FT /
+// malleability events.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "ft/mem_checkpoint.hpp"
+#include "introspect/metrics.hpp"
+#include "lb/strategy.hpp"
+#include "malleability/malleability.hpp"
+#include "runtime/charm.hpp"
+#include "stats/json_export.hpp"
+#include "stats/report.hpp"
+#include "trace/trace.hpp"
+
+#include "test_util.hpp"
+
+// ---- operator new/delete counting hook --------------------------------------
+//
+// Same idiom as tests/core/test_queues.cpp: a global allocation counter
+// toggled around the measured region; the hooks otherwise defer to malloc.
+// This file is its own test executable so the replacement operators cannot
+// collide with the queue test's.
+
+namespace {
+bool g_counting = false;
+std::size_t g_allocs = 0;
+}  // namespace
+
+// GCC pairs the inlined replacement operator new with the free() inside the
+// replacement operator delete and flags a mismatch; the pair is consistent
+// by construction (both sides are malloc/free).
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
+void* operator new(std::size_t size) {
+  if (g_counting) ++g_allocs;
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  if (g_counting) ++g_allocs;
+  return std::malloc(size);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+
+namespace {
+
+using namespace charm;
+using charmtest::Harness;
+
+// ---- deterministic chatter workload (mirrors tests/features/test_stats) -----
+
+constexpr int kElems = 16;
+
+struct WorkMsg {
+  std::uint32_t seed = 0;
+  std::int32_t hops = 0;
+  void pup(pup::Er& p) {
+    p | seed;
+    p | hops;
+  }
+};
+
+class Chatter : public charm::ArrayElement<Chatter, std::int32_t> {
+ public:
+  void chat(const WorkMsg& m) {
+    const std::uint32_t s = m.seed * 1664525u + 1013904223u;
+    charge((1.0 + static_cast<double>(s >> 28)) * 1e-6);
+    if (m.hops > 0) {
+      ArrayProxy<Chatter> arr(collection_id());
+      arr[static_cast<std::int32_t>(s % kElems)].send<&Chatter::chat>(
+          WorkMsg{s, m.hops - 1});
+    }
+  }
+  void pup(pup::Er& p) override { ArrayElementBase::pup(p); }
+};
+
+void kick_chatter(Harness& h, ArrayProxy<Chatter>& arr, std::uint32_t seed,
+                  int chains, int hops) {
+  h.rt.on_pe(0, [&arr, seed, chains, hops] {
+    for (int c = 0; c < chains; ++c) {
+      arr[c % kElems].send<&Chatter::chat>(
+          WorkMsg{seed + 0x9e3779b9u * static_cast<std::uint32_t>(c), hops});
+    }
+  });
+}
+
+// ---- live counters vs. post-mortem stats ------------------------------------
+
+TEST(Introspect, LiveCountersReconcileWithPostMortem) {
+  constexpr int kNpes = 4;
+  Harness h(kNpes);
+  trace::Tracer tracer;
+  h.machine.set_tracer(&tracer);
+  introspect::Monitor mon;
+  mon.attach(h.machine);
+
+  auto arr = ArrayProxy<Chatter>::create(h.rt);
+  for (int i = 0; i < kElems; ++i) arr.seed(i, i % kNpes);
+  kick_chatter(h, arr, /*seed=*/7, /*chains=*/6, /*hops=*/40);
+  h.machine.run();
+
+  const stats::Report r = stats::collect(tracer, kNpes);
+  ASSERT_EQ(mon.npes(), kNpes);
+  for (int pe = 0; pe < kNpes; ++pe) {
+    const auto i = static_cast<std::size_t>(pe);
+    const introspect::PeCounters& live = mon.pe(pe);
+    // exec sums the identical `clock_end - clock_begin` expression the
+    // post-mortem collector derives from the trace spans: bit-exact.
+    EXPECT_EQ(live.exec, r.pes[i].exec) << "pe " << pe;
+    EXPECT_EQ(live.execs, r.pes[i].execs) << "pe " << pe;
+    EXPECT_EQ(live.msgs_sent, r.pes[i].msgs_sent) << "pe " << pe;
+    EXPECT_EQ(live.bytes_sent, r.pes[i].bytes_sent) << "pe " << pe;
+    // busy accumulates per-entry durations in arrival order while the
+    // post-mortem value sums trace spans: same terms, FP-rounding tolerance.
+    EXPECT_NEAR(live.busy, r.pes[i].busy,
+                1e-9 * (r.pes[i].busy + 1e-30))
+        << "pe " << pe;
+  }
+  EXPECT_EQ(mon.total_exec(), r.total_exec());
+  EXPECT_EQ(mon.total_execs(), r.total_execs());
+  EXPECT_EQ(mon.total_msgs(), r.messages.sends);
+  EXPECT_EQ(mon.total_bytes(), r.messages.bytes);
+  EXPECT_NEAR(mon.total_busy(), r.total_busy(), 1e-9 * (r.total_busy() + 1e-30));
+  // time() is the last *event* timestamp; the final handler's execution span
+  // extends past it, so it lower-bounds the trace makespan.
+  EXPECT_GT(mon.time(), 0.0);
+  EXPECT_LE(mon.time(), r.makespan + 1e-12);
+
+  // Live entry grains cover the same call population the trace saw.
+  std::uint64_t live_calls = 0;
+  for (const auto& [key, load] : mon.entry_loads()) live_calls += load.calls;
+  std::uint64_t trace_calls = 0;
+  for (const stats::EntryUsage& u : r.entries)
+    if (u.col >= 0) trace_calls += u.calls;
+  EXPECT_EQ(live_calls, trace_calls);
+}
+
+// ---- zero virtual-time perturbation -----------------------------------------
+
+TEST(Introspect, AttachingMonitorDoesNotPerturbVirtualTime) {
+  auto run = [](bool with_metrics, std::string* json_out) {
+    constexpr int kNpes = 4;
+    Harness h(kNpes);
+    trace::Tracer tracer;
+    h.machine.set_tracer(&tracer);
+    introspect::Monitor mon;
+    if (with_metrics) {
+      mon.set_interval(5e-6);  // aggressive cadence: many boundary crossings
+      mon.attach(h.machine);
+    }
+    auto arr = ArrayProxy<Chatter>::create(h.rt);
+    for (int i = 0; i < kElems; ++i) arr.seed(i, i % kNpes);
+    kick_chatter(h, arr, /*seed=*/11, /*chains=*/6, /*hops=*/50);
+    h.machine.run();
+    if (with_metrics) {
+      EXPECT_GT(mon.samples().size(), 4u);
+    }
+    // The metrics block stays disabled so both exports use the same schema.
+    *json_out = stats::to_json(stats::collect(tracer, kNpes), stats::ExportMeta{});
+    return h.machine.events_processed();
+  };
+  std::string base_json, metered_json;
+  const std::uint64_t base_events = run(false, &base_json);
+  const std::uint64_t metered_events = run(true, &metered_json);
+  EXPECT_EQ(base_events, metered_events)
+      << "sampling must not inject events";
+  EXPECT_EQ(base_json, metered_json)
+      << "every clock, span, and message must be byte-identical with metrics on";
+}
+
+// ---- timeline determinism and invariants ------------------------------------
+
+TEST(Introspect, SamplesAreDeterministicAndMonotone) {
+  constexpr int kNpes = 4;
+  constexpr double kInterval = 1e-5;
+  auto run = [](std::vector<introspect::Sample>* out) {
+    Harness h(kNpes);
+    introspect::Monitor mon;
+    mon.set_interval(kInterval);
+    mon.attach(h.machine);
+    auto arr = ArrayProxy<Chatter>::create(h.rt);
+    for (int i = 0; i < kElems; ++i) arr.seed(i, i % kNpes);
+    kick_chatter(h, arr, /*seed=*/3, /*chains=*/5, /*hops=*/60);
+    h.machine.run();
+    *out = mon.samples();
+    EXPECT_EQ(mon.dropped_samples(), 0u);
+  };
+  std::vector<introspect::Sample> a, b;
+  run(&a);
+  run(&b);
+  ASSERT_GT(a.size(), 4u);
+  ASSERT_EQ(a.size(), b.size());
+
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    SCOPED_TRACE("sample " + std::to_string(i));
+    const introspect::Sample& s = a[i];
+    const introspect::Sample& t = b[i];
+    // Two identical runs produce identical timelines, field for field.
+    EXPECT_EQ(s.t, t.t);
+    EXPECT_EQ(s.busy, t.busy);
+    EXPECT_EQ(s.exec, t.exec);
+    EXPECT_EQ(s.execs, t.execs);
+    EXPECT_EQ(s.msgs, t.msgs);
+    EXPECT_EQ(s.bytes, t.bytes);
+    EXPECT_EQ(s.lambda, t.lambda);
+    EXPECT_EQ(s.ready, t.ready);
+    EXPECT_EQ(s.ready_hwm, t.ready_hwm);
+    EXPECT_EQ(s.evq, t.evq);
+    EXPECT_EQ(s.evq_hwm, t.evq_hwm);
+
+    // Timestamps are exact interval multiples (computed, not accumulated).
+    EXPECT_EQ(s.t, kInterval * static_cast<double>(i + 1));
+    // Watermarks bound the instantaneous depths in every window.
+    EXPECT_GE(s.ready_hwm, s.ready);
+    EXPECT_GE(s.evq_hwm, s.evq);
+    EXPECT_GE(s.busy_max, s.busy_avg);
+    EXPECT_LE(s.coll_msgs, s.msgs);
+    EXPECT_LE(s.coll_bytes, s.bytes);
+    if (i > 0) {
+      // Cumulative fields never decrease; rates match the window deltas.
+      EXPECT_GE(s.busy, a[i - 1].busy);
+      EXPECT_GE(s.exec, a[i - 1].exec);
+      EXPECT_GE(s.execs, a[i - 1].execs);
+      EXPECT_GE(s.msgs, a[i - 1].msgs);
+      EXPECT_GE(s.bytes, a[i - 1].bytes);
+      EXPECT_EQ(s.msg_rate,
+                static_cast<double>(s.msgs - a[i - 1].msgs) / kInterval);
+      EXPECT_EQ(s.byte_rate,
+                static_cast<double>(s.bytes - a[i - 1].bytes) / kInterval);
+    }
+  }
+}
+
+// ---- allocation-free steady state -------------------------------------------
+
+TEST(Introspect, SteadyStateSamplingIsAllocationFree) {
+  Harness h(8);
+  introspect::Monitor mon;
+  mon.set_interval(1e-6);
+  mon.attach(h.machine);
+
+  // Warm-up: touch every (col, ep) key the steady state will see (first use
+  // allocates the map node) and confirm the sample buffer is pre-reserved.
+  for (int pe = 0; pe < 8; ++pe) mon.on_entry(pe, /*col=*/1, /*ep=*/pe % 3, 1e-7);
+  ASSERT_GE(introspect::Monitor::kSampleReserve, 2048u);
+
+  g_allocs = 0;
+  g_counting = true;
+  double now = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const int pe = i % 8;
+    mon.on_send(pe, 128);
+    mon.on_arrive(pe, /*ready_depth=*/2);
+    mon.on_entry(pe, 1, pe % 3, 1e-7);
+    mon.on_exec(pe, 2e-7, /*ready_depth=*/1);
+    now += 1e-7;  // crosses a sample boundary every 10 iterations
+    mon.on_step(now, /*evq_depth=*/4);
+  }
+  g_counting = false;
+
+  EXPECT_EQ(g_allocs, 0u) << "hot-path hooks and boundary sampling must not "
+                             "allocate in the steady state";
+  EXPECT_GT(mon.samples().size(), 1000u);
+  EXPECT_LT(mon.samples().size(), introspect::Monitor::kSampleReserve);
+}
+
+// ---- mid-run queries between phases -----------------------------------------
+
+TEST(Introspect, MidRunQueryBetweenPhases) {
+  constexpr int kNpes = 4;
+  Harness h(kNpes);
+  introspect::Monitor mon;
+  mon.attach(h.machine);
+  ASSERT_EQ(h.rt.metrics(), &mon) << "Runtime::metrics() must expose the monitor";
+
+  auto arr = ArrayProxy<Chatter>::create(h.rt);
+  for (int i = 0; i < kElems; ++i) arr.seed(i, i % kNpes);
+  kick_chatter(h, arr, /*seed=*/5, /*chains=*/4, /*hops=*/30);
+  h.machine.run();
+
+  // Phase boundary: the machine drained, so queues are empty but the
+  // counters hold the phase-1 totals.
+  const double t1 = mon.time();
+  const std::uint64_t execs1 = mon.total_execs();
+  EXPECT_GT(t1, 0.0);
+  EXPECT_GT(execs1, 0u);
+  EXPECT_EQ(mon.ready_depth(), 0u);
+  EXPECT_EQ(mon.event_queue_depth(), 0u);
+  EXPECT_GE(mon.imbalance(), 1.0);
+  double util = 0;
+  for (int pe = 0; pe < kNpes; ++pe) {
+    EXPECT_GT(mon.utilization(pe), 0.0) << "pe " << pe;
+    // time() lags the final span end by at most one grain, so allow a hair
+    // above 1 for a fully busy PE.
+    EXPECT_LE(mon.utilization(pe), 1.01) << "pe " << pe;
+    util += mon.utilization(pe);
+  }
+  EXPECT_GT(util, 0.0);
+
+  // Phase 2 keeps accumulating on the same timeline.
+  h.machine.resume();
+  kick_chatter(h, arr, /*seed=*/6, /*chains=*/4, /*hops=*/30);
+  h.machine.run();
+  EXPECT_GT(mon.time(), t1);
+  EXPECT_GT(mon.total_execs(), execs1);
+}
+
+// ---- opt-in tree summary ----------------------------------------------------
+
+TEST(Introspect, TreeSummaryComputesGlobalLambda) {
+  constexpr int kNpes = 8;
+  Harness h(kNpes, sim::NetworkParams{}, 4, Harness::tree_config(3));
+  introspect::Monitor mon;
+  mon.attach(h.machine);
+
+  auto arr = ArrayProxy<Chatter>::create(h.rt);
+  for (int i = 0; i < kElems; ++i) arr.seed(i, i % kNpes);
+  kick_chatter(h, arr, /*seed=*/9, /*chains=*/8, /*hops=*/40);
+  h.machine.run();
+
+  const std::uint64_t msgs_before = mon.total_msgs();
+  const double local_lambda = mon.imbalance();
+  ASSERT_GE(local_lambda, 1.0);
+
+  h.machine.resume();
+  bool done = false;
+  introspect::ClusterSummary got;
+  mon.request_summary(h.rt, [&](const introspect::ClusterSummary& s) {
+    done = true;
+    got = s;
+  });
+  EXPECT_TRUE(mon.summary_in_flight());
+  EXPECT_THROW(mon.request_summary(h.rt), std::logic_error)
+      << "only one wave at a time";
+  h.machine.run();
+
+  ASSERT_TRUE(done);
+  EXPECT_FALSE(mon.summary_in_flight());
+  EXPECT_EQ(got.pes, kNpes);
+  EXPECT_EQ(mon.summary_partials(), static_cast<std::uint64_t>(kNpes - 1))
+      << "k-ary gather sends exactly one partial per non-root rank";
+  // No entry work ran during the wave, so the tree-computed λ equals the
+  // locally readable one.
+  EXPECT_NEAR(got.lambda, local_lambda, 1e-12);
+  EXPECT_NEAR(got.busy_max / got.busy_avg, got.lambda, 1e-12);
+  EXPECT_EQ(mon.last_summary().t, got.t);
+  // The wave's partials are real counted traffic.
+  EXPECT_GE(mon.total_msgs(), msgs_before + static_cast<std::uint64_t>(kNpes - 1));
+}
+
+// ---- decision journal -------------------------------------------------------
+
+struct IterMsg {
+  int remaining = 0;
+  void pup(pup::Er& p) { p | remaining; }
+};
+
+class Worker : public charm::ArrayElement<Worker, std::int32_t> {
+ public:
+  double weight = 1.0;
+  int pending = 0;
+
+  void step(const IterMsg& m) {
+    pending = m.remaining;
+    charm::charge(weight * 1e-3);
+    at_sync();
+  }
+  void resume_from_sync() override {
+    if (pending > 0) {
+      IterMsg m{pending - 1};
+      charm::ArrayProxy<Worker> self(collection_id());
+      self[index()].send<&Worker::step>(m);
+    }
+  }
+  void pup(pup::Er& p) override {
+    ArrayElementBase::pup(p);
+    p | weight;
+    p | pending;
+  }
+};
+
+std::vector<introspect::JournalKind> kinds_of(const introspect::Monitor& mon) {
+  std::vector<introspect::JournalKind> out;
+  for (const introspect::JournalEvent& e : mon.journal_events())
+    out.push_back(e.kind);
+  return out;
+}
+
+TEST(Introspect, JournalRecordsLbRounds) {
+  Harness h(4);
+  introspect::Monitor mon;
+  mon.attach(h.machine);
+  auto arr = ArrayProxy<Worker>::create(h.rt);
+  for (int i = 0; i < 16; ++i) arr.seed(i, i < 8 ? 0 : (i % 4));
+  for (int pe = 0; pe < 4; ++pe) {
+    for (auto& [ix, obj] : h.rt.collection(arr.id()).local(pe).elems)
+      static_cast<Worker*>(obj.get())->weight = 2.0;
+  }
+  h.rt.lb().register_collection(arr.id());
+  h.rt.lb().set_strategy(lb::make_greedy());
+  h.rt.lb().set_period(2);
+  h.rt.on_pe(0, [&] { arr.broadcast<&Worker::step>(IterMsg{6}); });
+  h.machine.run();
+
+  int lb_rounds = 0, migrations = 0;
+  double prev_t = 0;
+  for (const introspect::JournalEvent& e : mon.journal_events()) {
+    EXPECT_GE(e.t, prev_t) << "journal must be time-ordered";
+    prev_t = e.t;
+    if (e.kind == introspect::JournalKind::kLbRound) {
+      ++lb_rounds;
+      migrations += e.aux;
+      EXPECT_GE(e.value, 0.0);
+    }
+  }
+  EXPECT_GE(lb_rounds, 2) << "period-2 AtSync over 7 steps must journal "
+                             "at least two strategy rounds";
+  int migs = 0;
+  for (const auto& r : h.rt.lb().history()) migs += r.migrations;
+  EXPECT_EQ(migrations, migs) << "journal aux must mirror the LB history";
+}
+
+struct CellMsg {
+  int steps = 0;
+  void pup(pup::Er& p) { p | steps; }
+};
+
+class Cell : public charm::ArrayElement<Cell, std::int32_t> {
+ public:
+  int steps = 0;
+  void work(const CellMsg& m) {
+    charm::charge(1e-4);
+    ++steps;
+    if (m.steps > 1) {
+      ArrayProxy<Cell> self(collection_id());
+      self[index()].send<&Cell::work>(CellMsg{m.steps - 1});
+    }
+  }
+  void pup(pup::Er& p) override {
+    ArrayElementBase::pup(p);
+    p | steps;
+  }
+};
+
+TEST(Introspect, JournalRecordsCheckpointFailureAndRestore) {
+  Harness h(6);
+  introspect::Monitor mon;
+  mon.attach(h.machine);
+  auto arr = ArrayProxy<Cell>::create(h.rt);
+  for (int i = 0; i < 18; ++i) arr.seed(i, i % 6);
+  ft::MemCheckpointer ckpt(h.rt);
+  bool recovered = false;
+
+  h.rt.on_pe(0, [&] {
+    arr.broadcast<&Cell::work>(CellMsg{5});
+    h.rt.start_quiescence(Callback::to_function([&](ReductionResult&&) {
+      ckpt.checkpoint(Callback::to_function([&](ReductionResult&&) {
+        ckpt.fail_and_recover(3, Callback::to_function([&](ReductionResult&&) {
+          recovered = true;
+        }));
+      }));
+    }));
+  });
+  h.machine.run();
+  ASSERT_TRUE(recovered);
+
+  const auto kinds = kinds_of(mon);
+  auto find_kind = [&](introspect::JournalKind k) {
+    for (std::size_t i = 0; i < kinds.size(); ++i)
+      if (kinds[i] == k) return static_cast<int>(i);
+    return -1;
+  };
+  const int ckpt_i = find_kind(introspect::JournalKind::kCheckpoint);
+  const int fail_i = find_kind(introspect::JournalKind::kFailure);
+  const int rest_i = find_kind(introspect::JournalKind::kRestore);
+  ASSERT_GE(ckpt_i, 0) << "checkpoint commit must be journaled";
+  ASSERT_GE(fail_i, 0) << "fail_pe must journal the failure";
+  ASSERT_GE(rest_i, 0) << "rollback completion must be journaled";
+  EXPECT_LT(ckpt_i, fail_i);
+  EXPECT_LT(fail_i, rest_i);
+  EXPECT_EQ(mon.journal_events()[static_cast<std::size_t>(fail_i)].aux, 3)
+      << "failure aux is the victim PE";
+  EXPECT_GT(mon.journal_events()[static_cast<std::size_t>(ckpt_i)].value, 0.0)
+      << "checkpoint value is the committed byte count";
+}
+
+TEST(Introspect, JournalRecordsShrinkAndExpand) {
+  Harness h(8);
+  introspect::Monitor mon;
+  mon.attach(h.machine);
+  auto arr = ArrayProxy<Worker>::create(h.rt);
+  for (int i = 0; i < 32; ++i) arr.seed(i, i % 8);
+  h.rt.lb().register_collection(arr.id());
+  ccs::Server server(h.rt, {.shrink_base_s = 0.05, .expand_base_s = 0.1, .per_pe_s = 0});
+
+  bool shrunk = false;
+  h.rt.on_pe(0, [&] {
+    server.request_shrink(4, Callback::to_function([&](ReductionResult&&) { shrunk = true; }));
+    arr.broadcast<&Worker::step>(IterMsg{3});
+  });
+  h.machine.run();
+  ASSERT_TRUE(shrunk);
+
+  h.machine.resume();
+  bool expanded = false;
+  h.rt.on_pe(0, [&] {
+    server.request_expand(8, Callback::to_function([&](ReductionResult&&) { expanded = true; }));
+    arr.broadcast<&Worker::step>(IterMsg{3});
+  });
+  h.machine.run();
+  ASSERT_TRUE(expanded);
+
+  const introspect::JournalEvent* shrink_e = nullptr;
+  const introspect::JournalEvent* expand_e = nullptr;
+  for (const introspect::JournalEvent& e : mon.journal_events()) {
+    if (e.kind == introspect::JournalKind::kShrink) shrink_e = &e;
+    if (e.kind == introspect::JournalKind::kExpand) expand_e = &e;
+  }
+  ASSERT_NE(shrink_e, nullptr);
+  ASSERT_NE(expand_e, nullptr);
+  EXPECT_EQ(shrink_e->aux, 4) << "shrink aux is the target PE count";
+  EXPECT_EQ(shrink_e->value, 8.0) << "shrink value is the old PE count";
+  EXPECT_EQ(expand_e->aux, 8);
+  EXPECT_EQ(expand_e->value, 4.0);
+  EXPECT_LT(shrink_e->t, expand_e->t);
+}
+
+// ---- entry-grain EWMA -------------------------------------------------------
+
+TEST(Introspect, EwmaTracksEntryGrain) {
+  Harness h(2);
+  introspect::Monitor mon;
+  mon.attach(h.machine);
+  // Feed a constant grain directly: the EWMA must converge to it and the
+  // totals must stay exact.
+  constexpr double kGrain = 3e-6;
+  for (int i = 0; i < 64; ++i) mon.on_entry(0, /*col=*/2, /*ep=*/1, kGrain);
+  const auto& loads = mon.entry_loads();
+  auto it = loads.find({2, 1});
+  ASSERT_NE(it, loads.end());
+  EXPECT_EQ(it->second.calls, 64u);
+  EXPECT_NEAR(it->second.total, 64 * kGrain, 1e-15);
+  EXPECT_NEAR(it->second.ewma, kGrain, 1e-12);
+
+  // A step change in grain moves the EWMA toward the new value but keeps the
+  // memory of the old one for a while (alpha = 0.25).
+  mon.on_entry(0, 2, 1, 9e-6);
+  EXPECT_GT(it->second.ewma, kGrain);
+  EXPECT_LT(it->second.ewma, 9e-6);
+  EXPECT_NEAR(it->second.ewma, 0.25 * 9e-6 + 0.75 * kGrain, 1e-18);
+}
+
+// ---- export plumbing --------------------------------------------------------
+
+TEST(Introspect, FillExportMirrorsSamplesAndJournal) {
+  Harness h(4);
+  introspect::Monitor mon;
+  mon.set_interval(1e-5);
+  mon.attach(h.machine);
+  auto arr = ArrayProxy<Chatter>::create(h.rt);
+  for (int i = 0; i < kElems; ++i) arr.seed(i, i % 4);
+  kick_chatter(h, arr, /*seed=*/13, /*chains=*/4, /*hops=*/30);
+  h.machine.run();
+  mon.journal(introspect::JournalKind::kLbRound, mon.time(), 2, 0.5);
+
+  stats::ExportMeta meta;
+  mon.fill_export(meta.metrics);
+  ASSERT_TRUE(meta.metrics.enabled);
+  EXPECT_EQ(meta.metrics.interval, 1e-5);
+  ASSERT_EQ(meta.metrics.samples.size(), mon.samples().size());
+  ASSERT_GT(meta.metrics.samples.size(), 0u);
+  for (std::size_t i = 0; i < mon.samples().size(); ++i) {
+    EXPECT_EQ(meta.metrics.samples[i].t, mon.samples()[i].t);
+    EXPECT_EQ(meta.metrics.samples[i].busy, mon.samples()[i].busy);
+    EXPECT_EQ(meta.metrics.samples[i].msgs, mon.samples()[i].msgs);
+  }
+  ASSERT_EQ(meta.metrics.journal.size(), 1u);
+  EXPECT_EQ(meta.metrics.journal[0].kind, "lb_round");
+  EXPECT_EQ(meta.metrics.journal[0].aux, 2);
+
+  // The enabled block lands in the JSON between the optional sections and
+  // "totals", with the journal kind on the wire.
+  trace::Tracer t;
+  const std::string json = stats::to_json(stats::collect(t, 4), meta);
+  EXPECT_NE(json.find("\"timeseries\":["), std::string::npos);
+  EXPECT_NE(json.find("\"journal\":[{\"t\":"), std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"lb_round\""), std::string::npos);
+}
+
+}  // namespace

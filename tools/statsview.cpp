@@ -2,13 +2,20 @@
 // `BENCH_<fig>.json` analytics files the benches emit with --stats=FILE
 // (schema "charmlike-stats", DESIGN.md §6).
 //
-//   statsview FILE                 report: top entry methods, imbalance,
-//                                  comm-matrix hotspots, critical path
+//   statsview FILE                 report: all present sections, top entry
+//                                  methods, imbalance, comm-matrix hotspots,
+//                                  critical path
 //   statsview BASELINE CANDIDATE   diff the two runs; exit code 2 when the
 //                                  candidate's makespan regresses by more
 //                                  than the threshold
+//   statsview timeline FILE        live-metrics timeline report (--metrics
+//                                  runs): sampled λ/rates/queue depths plus
+//                                  the decision journal
+//   statsview timeline A B         per-sample timeline diff; exit code 2 on
+//                                  sample-count mismatch or a final-sample
+//                                  busy drift past the threshold
 //   --top=N          rows per ranking (default 10)
-//   --threshold=PCT  makespan regression gate for diff mode (default 5)
+//   --threshold=PCT  regression gate for the diff modes (default 5)
 
 #include <algorithm>
 #include <cmath>
@@ -169,9 +176,30 @@ bool load(const std::string& path, Doc& doc) {
 
 double pct(double part, double whole) { return whole > 0 ? 100.0 * part / whole : 0; }
 
+/// One-line inventory of every top-level section, discovered generically from
+/// the ordered DOM — a new schema section (e.g. "timeseries") shows up here
+/// without statsview needing a special case for it.
+void print_sections(const Doc& d) {
+  std::string line;
+  char count[32];
+  for (const auto& [key, v] : d.root.object) {
+    if (!line.empty()) line += ", ";
+    line += key;
+    if (v.is_array()) {
+      std::snprintf(count, sizeof count, "[%zu]", v.array.size());
+      line += count;
+    } else if (v.is_object()) {
+      std::snprintf(count, sizeof count, "{%zu}", v.object.size());
+      line += count;
+    }
+  }
+  std::printf("sections: %s\n", line.c_str());
+}
+
 void print_report(const Doc& d, int top) {
   std::printf("== %s (%s%s) ==\n", d.root.str("bench", "?").c_str(), d.path.c_str(),
               d.root.find("smoke") != nullptr && d.root.find("smoke")->boolean ? ", smoke" : "");
+  print_sections(d);
   const double span_work = d.makespan * d.npes;
   std::printf("PEs %d | makespan %.6g s | busy %.6g s (%.1f%%) | overhead %.6g s (%.1f%%) | idle %.1f%%\n",
               d.npes, d.makespan, d.busy, pct(d.busy, span_work), d.exec - d.busy,
@@ -254,11 +282,146 @@ void print_report(const Doc& d, int top) {
     }
   }
 
+  if (const Value* ts = d.root.find("timeseries"); ts != nullptr && ts->is_array()) {
+    std::printf("\nlive metrics: %zu samples every %.6g s (see `statsview timeline %s`)\n",
+                ts->array.size(), d.root.num("metrics_interval"), d.path.c_str());
+  }
+
   if (const Value* cp = d.root.find("critical_path")) {
     std::printf("\ncritical path: %.6g s (%.1f%% of makespan) = %.6g work + %.6g comm over %llu execs\n",
                 cp->num("length"), 100.0 * cp->num("makespan_ratio"), cp->num("work"),
                 cp->num("comm"), static_cast<unsigned long long>(cp->num("nodes")));
   }
+}
+
+// ---- timeline report / diff (the "timeseries"/"journal" sections) ------------
+
+const Value* require_timeseries(const Doc& d) {
+  const Value* ts = d.root.find("timeseries");
+  if (ts == nullptr || !ts->is_array()) {
+    std::fprintf(stderr,
+                 "statsview: %s has no timeseries section (run the bench with "
+                 "--metrics --stats=FILE)\n",
+                 d.path.c_str());
+    return nullptr;
+  }
+  return ts;
+}
+
+int timeline_report(const Doc& d, int top) {
+  const Value* ts = require_timeseries(d);
+  if (ts == nullptr) return 1;
+  std::printf("== %s timeline (%s) ==\n", d.root.str("bench", "?").c_str(),
+              d.path.c_str());
+  const std::size_t n = ts->array.size();
+  std::printf("%zu samples every %.6g s over %d PEs\n", n,
+              d.root.num("metrics_interval"), d.npes);
+
+  // Bounded table: stride over the samples so long runs stay readable
+  // (always including the final sample, the cumulative totals).
+  const std::size_t max_rows = static_cast<std::size_t>(top) * 2;
+  const std::size_t stride = n > max_rows ? (n + max_rows - 1) / max_rows : 1;
+  std::printf("%12s %8s %12s %12s %12s %8s %10s %8s %8s\n", "t_s", "lambda",
+              "busy_avg_s", "msg_rate", "byte_rate", "ready", "ready_hwm", "evq",
+              "evq_hwm");
+  for (std::size_t i = 0; i < n; i += stride) {
+    const Value& s = ts->array[i == n ? n - 1 : i];
+    std::printf("%12.6g %8.3f %12.6g %12.6g %12.6g %8.0f %10.0f %8.0f %8.0f\n",
+                s.num("t"), s.num("lambda"), s.num("busy_avg"), s.num("msg_rate"),
+                s.num("byte_rate"), s.num("ready"), s.num("ready_hwm"),
+                s.num("evq"), s.num("evq_hwm"));
+  }
+  if (n > 0 && (n - 1) % stride != 0) {
+    const Value& s = ts->array[n - 1];
+    std::printf("%12.6g %8.3f %12.6g %12.6g %12.6g %8.0f %10.0f %8.0f %8.0f\n",
+                s.num("t"), s.num("lambda"), s.num("busy_avg"), s.num("msg_rate"),
+                s.num("byte_rate"), s.num("ready"), s.num("ready_hwm"),
+                s.num("evq"), s.num("evq_hwm"));
+  }
+
+  if (const Value* jr = d.root.find("journal"); jr != nullptr && jr->is_array()) {
+    std::printf("\ndecision journal (%zu events):\n", jr->array.size());
+    std::printf("%12s %-12s %8s %14s\n", "t_s", "kind", "aux", "value");
+    for (const Value& e : jr->array) {
+      std::printf("%12.6g %-12s %8.0f %14.6g\n", e.num("t"),
+                  e.str("kind", "?").c_str(), e.num("aux"), e.num("value"));
+    }
+  }
+  return 0;
+}
+
+int timeline_diff(const Doc& a, const Doc& b, int top, double threshold_pct) {
+  const Value* tsa = require_timeseries(a);
+  const Value* tsb = require_timeseries(b);
+  if (tsa == nullptr || tsb == nullptr) return 1;
+  std::printf("== statsview timeline diff: %s (A) vs %s (B) ==\n", a.path.c_str(),
+              b.path.c_str());
+  std::printf("samples: A %zu, B %zu | interval: A %.6g s, B %.6g s\n",
+              tsa->array.size(), tsb->array.size(), a.root.num("metrics_interval"),
+              b.root.num("metrics_interval"));
+  if (tsa->array.size() != tsb->array.size()) {
+    std::printf("\nREGRESSION: sample counts differ — the runs cover different "
+                "virtual-time spans\n");
+    return 2;
+  }
+  if (tsa->array.empty()) {
+    std::printf("\nOK: both timelines are empty\n");
+    return 0;
+  }
+
+  // Largest per-sample divergences in cumulative busy and in λ.
+  struct Div {
+    double t, a_v, b_v;
+  };
+  Div worst_busy{0, 0, 0}, worst_lambda{0, 0, 0};
+  double worst_busy_rel = 0, worst_lambda_abs = 0;
+  for (std::size_t i = 0; i < tsa->array.size(); ++i) {
+    const Value& sa = tsa->array[i];
+    const Value& sb = tsb->array[i];
+    const double ba = sa.num("busy"), bb = sb.num("busy");
+    const double rel = ba != 0 ? std::fabs(bb - ba) / std::fabs(ba)
+                               : (bb != 0 ? 1.0 : 0.0);
+    if (rel >= worst_busy_rel) {
+      worst_busy_rel = rel;
+      worst_busy = Div{sa.num("t"), ba, bb};
+    }
+    const double la = sa.num("lambda"), lb = sb.num("lambda");
+    if (std::fabs(lb - la) >= worst_lambda_abs) {
+      worst_lambda_abs = std::fabs(lb - la);
+      worst_lambda = Div{sa.num("t"), la, lb};
+    }
+  }
+  std::printf("largest busy divergence: %+.3g%% at t=%.6g (A %.6g, B %.6g)\n",
+              100.0 * worst_busy_rel, worst_busy.t, worst_busy.a_v, worst_busy.b_v);
+  std::printf("largest lambda divergence: %+.4f at t=%.6g (A %.3f, B %.3f)\n",
+              worst_lambda_abs, worst_lambda.t, worst_lambda.a_v, worst_lambda.b_v);
+
+  const std::size_t n = tsa->array.size();
+  const std::size_t max_rows = static_cast<std::size_t>(top);
+  const std::size_t stride = n > max_rows ? (n + max_rows - 1) / max_rows : 1;
+  std::printf("\n%12s %10s %10s %12s %12s\n", "t_s", "A_lambda", "B_lambda",
+              "A_busy_s", "B_busy_s");
+  for (std::size_t i = 0; i < n; i += stride) {
+    const Value& sa = tsa->array[i];
+    const Value& sb = tsb->array[i];
+    std::printf("%12.6g %10.3f %10.3f %12.6g %12.6g\n", sa.num("t"),
+                sa.num("lambda"), sb.num("lambda"), sa.num("busy"), sb.num("busy"));
+  }
+
+  const Value& fa = tsa->array[n - 1];
+  const Value& fb = tsb->array[n - 1];
+  const double final_pct = fa.num("busy") != 0
+                               ? 100.0 * (fb.num("busy") - fa.num("busy")) / fa.num("busy")
+                               : (fb.num("busy") != 0 ? 100.0 : 0.0);
+  if (std::fabs(final_pct) > threshold_pct) {
+    std::printf("\nREGRESSION: final-sample cumulative busy drifted %+.2f%% "
+                "(threshold %.2f%%)\n",
+                final_pct, threshold_pct);
+    return 2;
+  }
+  std::printf("\nOK: final-sample busy delta %+.2f%% within the %.2f%% threshold\n",
+              final_pct, threshold_pct);
+  return 0;
 }
 
 void print_delta(const char* label, double a, double b) {
@@ -404,6 +567,7 @@ int diff(const Doc& a, const Doc& b, int top, double threshold_pct) {
 
 int main(int argc, char** argv) {
   std::vector<std::string> files;
+  bool timeline = false;
   int top = 10;
   double threshold = 5.0;
   for (int i = 1; i < argc; ++i) {
@@ -413,27 +577,33 @@ int main(int argc, char** argv) {
       if (top <= 0) top = 10;
     } else if (std::strncmp(a, "--threshold=", 12) == 0 && a[12] != '\0') {
       threshold = std::strtod(a + 12, nullptr);
+    } else if (std::strcmp(a, "timeline") == 0 && files.empty() && !timeline) {
+      timeline = true;
     } else if (a[0] == '-') {
       std::fprintf(stderr,
-                   "usage: statsview FILE [FILE2] [--top=N] [--threshold=PCT]\n"
-                   "  one file: report; two files: A-vs-B diff (exit 2 when B's\n"
-                   "  makespan regresses by more than PCT%%, default 5)\n");
+                   "usage: statsview [timeline] FILE [FILE2] [--top=N] [--threshold=PCT]\n"
+                   "  one file: report; two files: A-vs-B diff (exit 2 when B\n"
+                   "  regresses past PCT%%, default 5).  `timeline` switches to the\n"
+                   "  live-metrics timeseries/journal views (--metrics runs).\n");
       return 1;
     } else {
       files.emplace_back(a);
     }
   }
   if (files.empty() || files.size() > 2) {
-    std::fprintf(stderr, "usage: statsview FILE [FILE2] [--top=N] [--threshold=PCT]\n");
+    std::fprintf(stderr,
+                 "usage: statsview [timeline] FILE [FILE2] [--top=N] [--threshold=PCT]\n");
     return 1;
   }
   Doc a;
   if (!load(files[0], a)) return 1;
   if (files.size() == 1) {
+    if (timeline) return timeline_report(a, top);
     print_report(a, top);
     return 0;
   }
   Doc b;
   if (!load(files[1], b)) return 1;
+  if (timeline) return timeline_diff(a, b, top, threshold);
   return diff(a, b, top, threshold);
 }
