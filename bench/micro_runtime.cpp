@@ -6,6 +6,7 @@
 // (events/sec), plus virtual-time ablations (reduction latency, TRAM factor).
 
 #include <benchmark/benchmark.h>
+#include <sys/resource.h>
 
 #include <string>
 #include <string_view>
@@ -240,6 +241,45 @@ void BM_LocalSendDeliver(benchmark::State& state) {
       benchmark::Counter(static_cast<double>(pool.misses()));
 }
 BENCHMARK(BM_LocalSendDeliver);
+
+void BM_SparseFootprint(benchmark::State& state) {
+  // Structural memory of a million-virtual-PE machine whose workload touches
+  // ~1K PEs (DESIGN.md §12).  The counters are byte-accounting over the
+  // runtime's own structures (PagedTable pages, ready rings, event arena,
+  // collection tables), so they are deterministic across hosts and gated
+  // hard by check_stats_schema.py: a change that makes per-PE state dense
+  // again blows the per-idle-PE ceiling and fails the schema gate.
+  constexpr int kVirtualPes = 1 << 20;
+  constexpr int kTouched = 1024;
+  double idle_bytes_per_pe = 0;
+  double touched_bytes_per_pe = 0;
+  for (auto _ : state) {
+    sim::Machine m(sim::MachineConfig{kVirtualPes, {}, 4});
+    Runtime rt(m);
+    // Configured-but-idle cost: nothing has touched any PE yet, so this is
+    // the fixed overhead (table spines, initial event reserve) over all P.
+    idle_bytes_per_pe = static_cast<double>(rt.memory_footprint().total()) /
+                        static_cast<double>(kVirtualPes);
+    auto arr = ArrayProxy<Sink>::create(rt);
+    for (int i = 0; i < kTouched; ++i) arr.seed(i, i);
+    rt.on_pe(0, [&] {
+      for (int i = 0; i < kTouched; ++i) arr[i].send<&Sink::take>(Msg{i});
+    });
+    m.run();
+    const Runtime::MemoryFootprint f = rt.memory_footprint();
+    touched_bytes_per_pe = static_cast<double>(f.total()) /
+                           static_cast<double>(f.touched_pes);
+    benchmark::DoNotOptimize(touched_bytes_per_pe);
+  }
+  state.SetItemsProcessed(state.iterations() * kTouched);
+  state.counters["mem_bytes_per_idle_pe"] = idle_bytes_per_pe;
+  state.counters["mem_bytes_per_touched_pe"] = touched_bytes_per_pe;
+  // Whole-process high-water mark (host-dependent; reported, not gated).
+  struct rusage ru {};
+  getrusage(RUSAGE_SELF, &ru);
+  state.counters["mem_peak_rss_kb"] = static_cast<double>(ru.ru_maxrss);
+}
+BENCHMARK(BM_SparseFootprint);
 
 class Contrib : public ArrayElement<Contrib, std::int32_t> {
  public:

@@ -64,9 +64,16 @@ bool close_enough(double a, double b) {
   return a == b || (a > 0 && b > 0 && a / b > 0.999 && b / a > 0.999);
 }
 
+// Trace the small-P columns only ("sweep wide, trace narrow", same pattern
+// as bench/scale.cpp): the per-PE usage sections of the stats JSON keep a
+// dense few-PE shape, while the 64K-PE column still contributes its
+// deterministic taskbench[] rows — a traced 64K-PE cell would emit ~65K
+// per-PE rows (tens of MB of JSON) for a graph that occupies a few dozen.
+constexpr int kMaxTracedPes = 64;
+
 CellResult run_cell(const Params& p, int npes) {
   sim::Machine m(bench::machine_config(npes));
-  bench::attach_trace(m);
+  if (npes <= kMaxTracedPes) bench::attach_trace(m);
   charm::Runtime rt(m);
   return charm::taskbench::run_cell(rt, p);
 }
@@ -81,12 +88,17 @@ int main(int argc, char** argv) {
   const bool smoke = bench::smoke();
   // Smoke shrinks the per-cell graph, never the sweep shape: CI gates the
   // same (pattern x grain x P x transport) surface the full run covers.
-  const int width = smoke ? 32 : 64;
-  const int steps = smoke ? 8 : 16;
+  // The 64K-PE column exercises first-touch paging (DESIGN.md §12): the
+  // graph occupies O(width) PEs, so the other ~65K virtual PEs must cost
+  // nothing — before lazy state this column alone would dominate the sweep's
+  // memory and setup time.
+  const int width = smoke ? 48 : 128;
+  const int steps = smoke ? 12 : 24;
   const std::vector<double> grains =
       smoke ? std::vector<double>{1e-6, 1e-5, 1e-4}
             : std::vector<double>{1e-7, 1e-6, 1e-5, 1e-4};
-  const std::vector<int> pes = smoke ? std::vector<int>{4, 8} : std::vector<int>{4, 8, 16};
+  const std::vector<int> pes = smoke ? std::vector<int>{4, 8, 65536}
+                                     : std::vector<int>{4, 8, 16, 65536};
   const Pattern patterns[] = {Pattern::kStencil1D, Pattern::kFft, Pattern::kTree,
                               Pattern::kSweep, Pattern::kRandom};
   const char* transports[] = {"point", "tram"};

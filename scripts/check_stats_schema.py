@@ -142,6 +142,27 @@ def check_micro(doc, raw):
                     expect(v >= 0 and float(v).is_integer(),
                            f"{where}.counters.{k}: expected a nonnegative "
                            f"integer, got {v!r}")
+            # Footprint gate (DESIGN.md §12).  The mem_bytes_* counters are
+            # structural byte accounting over the runtime's own tables —
+            # deterministic across hosts — so hard ceilings are safe here: a
+            # change that re-densifies per-PE state (a dense Pe is ~100 B, a
+            # dense PeLocal ~250 B per configured PE) lands orders of
+            # magnitude past them and fails the schema check outright.
+            # mem_peak_rss_kb is host-dependent: presence/positivity only.
+            c = b["counters"]
+            if "mem_bytes_per_idle_pe" in c:
+                expect(0 <= c["mem_bytes_per_idle_pe"] <= 16,
+                       f"{where}.counters.mem_bytes_per_idle_pe: "
+                       f"{c['mem_bytes_per_idle_pe']!r} outside [0, 16] — "
+                       f"configured-but-untouched PEs are no longer ~free")
+            if "mem_bytes_per_touched_pe" in c:
+                expect(1 <= c["mem_bytes_per_touched_pe"] <= 65536,
+                       f"{where}.counters.mem_bytes_per_touched_pe: "
+                       f"{c['mem_bytes_per_touched_pe']!r} outside "
+                       f"[1, 65536]")
+            if "mem_peak_rss_kb" in c:
+                expect(c["mem_peak_rss_kb"] > 0,
+                       f"{where}.counters.mem_peak_rss_kb: expected > 0")
     check_byte_form(raw)
 
 

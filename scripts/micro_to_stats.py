@@ -15,7 +15,14 @@ when the named benchmark's items_per_second falls below the floor.  CI uses
 conservative floors (an order of magnitude under typical rates) so only a
 real hot-path regression trips the gate, not shared-runner noise.
 
+Counter ceilings gate footprint: --gate-max NAME/COUNTER=MAX fails (exit 1)
+when the named benchmark's counter exceeds the ceiling.  Unlike the rate
+floors these gate *structural byte accounting* (mem_bytes_per_idle_pe and
+friends from BM_SparseFootprint), which is deterministic across hosts, so
+the ceilings can sit close to the measured values.
+
 Usage: micro_to_stats.py RAW.json OUT.json [--smoke] [--gate NAME=RATE]...
+                         [--gate-max NAME/COUNTER=MAX]...
 """
 import json
 import sys
@@ -64,9 +71,10 @@ def convert(raw, smoke):
     }
 
 
-def apply_gates(doc, gates):
+def apply_gates(doc, gates, max_gates):
     rates = {b["name"]: b.get("items_per_second")
              for b in doc["benchmarks"]}
+    counters = {b["name"]: b.get("counters", {}) for b in doc["benchmarks"]}
     bad = 0
     for name, floor in gates:
         rate = rates.get(name)
@@ -80,14 +88,36 @@ def apply_gates(doc, gates):
             bad += 1
         else:
             print(f"gate {name}: {rate:.0f} items/s >= floor {floor:.0f} OK")
+    for name, counter, ceiling in max_gates:
+        value = counters.get(name, {}).get(counter)
+        if value is None:
+            print(f"gate-max {name}/{counter}: benchmark or counter missing",
+                  file=sys.stderr)
+            bad += 1
+        elif value > ceiling:
+            print(f"gate-max {name}/{counter}: {value:g} > ceiling {ceiling:g}",
+                  file=sys.stderr)
+            bad += 1
+        else:
+            print(f"gate-max {name}/{counter}: {value:g} <= ceiling "
+                  f"{ceiling:g} OK")
     return bad
 
 
 def main(argv):
-    paths, smoke, gates = [], False, []
+    paths, smoke, gates, max_gates = [], False, [], []
     for arg in argv[1:]:
         if arg == "--smoke":
             smoke = True
+        elif arg.startswith("--gate-max="):
+            spec = arg.split("=", 1)[1]
+            if "/" not in spec or "=" not in spec:
+                print("--gate-max expects --gate-max=NAME/COUNTER=MAX",
+                      file=sys.stderr)
+                return 2
+            target, ceiling = spec.split("=", 1)
+            name, counter = target.split("/", 1)
+            max_gates.append((name, counter, float(ceiling)))
         elif arg.startswith("--gate"):
             spec = arg.split("=", 1)[1] if arg.startswith("--gate=") else None
             if spec is None or "=" not in spec:
@@ -107,7 +137,7 @@ def main(argv):
         json.dump(doc, f, separators=(",", ":"))
         f.write("\n")
     print(f"{paths[1]}: {len(doc['benchmarks'])} benchmarks")
-    return 1 if apply_gates(doc, gates) else 0
+    return 1 if apply_gates(doc, gates, max_gates) else 0
 
 
 if __name__ == "__main__":

@@ -38,7 +38,7 @@ if [ -n "$stats_dir" ]; then
 fi
 
 for b in build/bench/fig* build/bench/ablation_* build/bench/taskbench \
-         build/bench/collectives build/bench/micro_*; do
+         build/bench/collectives build/bench/scale build/bench/micro_*; do
   if [ ! -x "$b" ]; then
     continue
   fi

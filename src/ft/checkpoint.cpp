@@ -38,17 +38,17 @@ void checkpoint_to_file(Runtime& rt, const std::string& path, Callback done,
   for (std::size_t ci = 0; ci < rt.collection_count(); ++ci) {
     Collection& c = rt.collection(static_cast<CollectionId>(ci));
     if (!c.checkpointable) continue;
-    for (int pe = 0; pe < rt.npes(); ++pe) {
-      for (auto& [ix, obj] : c.local(pe).elems) {
+    c.pe.for_each_touched([&](std::size_t pe, PeLocal& pl) {
+      for (auto& [ix, obj] : pl.elems) {
         ElementRecord rec;
         rec.col = c.id;
         rec.idx = ix;
         pup::Packer pk(rec.bytes);
         obj->pup(pk);
-        pe_bytes[static_cast<std::size_t>(pe)] += static_cast<double>(rec.bytes.size());
+        pe_bytes[pe] += static_cast<double>(rec.bytes.size());
         records.push_back(std::move(rec));
       }
-    }
+    });
   }
 
   std::ofstream out(path, std::ios::binary | std::ios::trunc);

@@ -44,7 +44,9 @@ void MemCheckpointer::checkpoint(Callback done) {
       for (std::size_t ci = 0; ci < rt_.collection_count(); ++ci) {
         Collection& c = rt_.collection(static_cast<CollectionId>(ci));
         if (!c.checkpointable) continue;
-        for (auto& [ix, obj] : c.local(pe).elems) {
+        PeLocal* pl = c.local_if(pe);
+        if (pl == nullptr) continue;  // PE hosts nothing of this collection
+        for (auto& [ix, obj] : pl->elems) {
           Copy copy;
           copy.col = c.id;
           copy.idx = ix;
@@ -181,12 +183,15 @@ void MemCheckpointer::begin_restore() {
     Collection& c = rt_.collection(static_cast<CollectionId>(ci));
     if (!c.checkpointable) continue;
     rt_.clear_reductions(c.id);
-    for (int pe = 0; pe < rt_.npes(); ++pe) {
+    // Touched-only rollback sweep; extract_local mutates the visited block's
+    // maps but never materializes new blocks, so iteration stays safe.
+    c.pe.for_each_touched([&](std::size_t pe, PeLocal& pl) {
       std::vector<ObjIndex> ids;
-      ids.reserve(c.local(pe).elems.size());
-      for (auto& [ix, obj] : c.local(pe).elems) ids.push_back(ix);
-      for (const ObjIndex& ix : ids) rt_.extract_local(c.id, ix, pe);
-    }
+      ids.reserve(pl.elems.size());
+      for (auto& [ix, obj] : pl.elems) ids.push_back(ix);
+      for (const ObjIndex& ix : ids)
+        rt_.extract_local(c.id, ix, static_cast<int>(pe));
+    });
   }
 
   // Phase 2: restore.  Live PEs restore from their local copies; each

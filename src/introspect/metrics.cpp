@@ -53,7 +53,7 @@ void Monitor::set_interval(double dt) {
 }
 
 void Monitor::reset(int npes) {
-  pes_.assign(static_cast<std::size_t>(npes), PeCounters{});
+  pes_.reset(static_cast<std::size_t>(npes));
   entry_loads_.clear();
   busy_ = exec_ = 0;
   execs_ = msgs_ = bytes_ = coll_msgs_ = coll_bytes_ = 0;
@@ -74,17 +74,20 @@ void Monitor::reset(int npes) {
 }
 
 double Monitor::imbalance() const {
+  // Touched-only fold, averaged over the configured P: untouched PEs hold
+  // busy = 0, so max and sum match the dense scan exactly.
   double mx = 0, sum = 0;
-  for (const PeCounters& pc : pes_) {
+  pes_.for_each_touched([&](std::size_t, const PeCounters& pc) {
     if (pc.busy > mx) mx = pc.busy;
     sum += pc.busy;
-  }
-  const double avg = pes_.empty() ? 0 : sum / static_cast<double>(pes_.size());
+  });
+  const double avg =
+      pes_.size() == 0 ? 0 : sum / static_cast<double>(pes_.size());
   return avg > 0 ? mx / avg : 0;
 }
 
 void Monitor::on_entry(int pe, int col, int ep, double dt) {
-  PeCounters& pc = pes_[static_cast<std::size_t>(pe)];
+  PeCounters& pc = pes_.ref(static_cast<std::size_t>(pe));
   pc.busy += dt;
   busy_ += dt;
   // First use of a (col, ep) key allocates its map node; every later
@@ -114,11 +117,12 @@ void Monitor::record_sample(double t) {
     Sample s;
     s.t = t;
     double mx = 0, sum = 0;
-    for (const PeCounters& pc : pes_) {
+    pes_.for_each_touched([&](std::size_t, const PeCounters& pc) {
       if (pc.busy > mx) mx = pc.busy;
       sum += pc.busy;
-    }
-    const double avg = pes_.empty() ? 0 : sum / static_cast<double>(pes_.size());
+    });
+    const double avg =
+        pes_.size() == 0 ? 0 : sum / static_cast<double>(pes_.size());
     s.busy_max = mx;
     s.busy_avg = avg;
     s.lambda = avg > 0 ? mx / avg : 0;
@@ -174,7 +178,7 @@ void Monitor::request_summary(charm::Runtime& rt, SummaryFn done) {
 void Monitor::summary_ready(charm::Runtime& rt, int rank) {
   const charm::SpanningTree tree(summary_.npes, 0, summary_.arity);
   // Fold this rank's own live busy into the subtree accumulator.
-  const double b = pes_[static_cast<std::size_t>(tree.abs(rank))].busy;
+  const double b = pes_.at_or_default(static_cast<std::size_t>(tree.abs(rank))).busy;
   auto& mx = summary_.max[static_cast<std::size_t>(rank)];
   if (b > mx) mx = b;
   summary_.sum[static_cast<std::size_t>(rank)] += b;

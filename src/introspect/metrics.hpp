@@ -32,6 +32,8 @@
 #include <utility>
 #include <vector>
 
+#include "sim/paged_table.hpp"
+
 namespace sim {
 class Machine;
 }
@@ -147,7 +149,14 @@ class Monitor {
   // ---- live queries ----------------------------------------------------
 
   int npes() const { return static_cast<int>(pes_.size()); }
-  const PeCounters& pe(int i) const { return pes_.at(static_cast<std::size_t>(i)); }
+  /// Reads untouched PEs as all-zero counters without materializing them.
+  const PeCounters& pe(int i) const {
+    return pes_.at_or_default(static_cast<std::size_t>(i));
+  }
+  /// PEs whose counters were ever written (first-touch census).
+  std::size_t touched_pes() const { return pes_.touched(); }
+  /// Host bytes held by the per-PE counter storage.
+  std::size_t counter_bytes() const { return pes_.memory_bytes(); }
   /// Virtual time of the most recent machine step.
   double time() const { return last_time_; }
   /// exec fraction of the PE's elapsed virtual time so far.
@@ -208,7 +217,7 @@ class Monitor {
   // scan (O(P), only at a crossed sample boundary).
 
   void on_send(int src, std::size_t bytes) {
-    PeCounters& pc = pes_[static_cast<std::size_t>(src)];
+    PeCounters& pc = pes_.ref(static_cast<std::size_t>(src));
     ++pc.msgs_sent;
     pc.bytes_sent += bytes;
     ++msgs_;
@@ -220,7 +229,7 @@ class Monitor {
   }
   void on_arrive(int pe, std::size_t ready_depth) { note_ready(pe, ready_depth); }
   void on_exec(int pe, double span, std::size_t ready_depth) {
-    PeCounters& pc = pes_[static_cast<std::size_t>(pe)];
+    PeCounters& pc = pes_.ref(static_cast<std::size_t>(pe));
     pc.exec += span;
     ++pc.execs;
     exec_ += span;
@@ -249,7 +258,7 @@ class Monitor {
  private:
   void reset(int npes);
   void note_ready(int pe, std::size_t depth) {
-    PeCounters& pc = pes_[static_cast<std::size_t>(pe)];
+    PeCounters& pc = pes_.ref(static_cast<std::size_t>(pe));
     const std::uint32_t d = static_cast<std::uint32_t>(depth);
     cur_ready_ += d;
     cur_ready_ -= pc.ready;
@@ -277,7 +286,9 @@ class Monitor {
   double next_boundary_ = 0;
   std::uint64_t sample_k_ = 0;
 
-  std::vector<PeCounters> pes_;
+  /// Per-PE counters, paged on first touch: the Monitor's footprint follows
+  /// the live touched-PE population, not the configured P (DESIGN.md §12).
+  sim::PagedTable<PeCounters> pes_;
   std::map<std::pair<int, int>, EntryLoad> entry_loads_;
   double busy_ = 0;
   double exec_ = 0;

@@ -15,12 +15,11 @@ PeLoadSummary summarize_pe_loads(Runtime& rt, const std::vector<CollectionId>& c
   s.per_pe.assign(static_cast<std::size_t>(rt.active_pes()), 0.0);
   for (CollectionId col : cols) {
     Collection& c = rt.collection(col);
-    for (int pe = 0; pe < rt.npes(); ++pe) {
-      for (auto& [ix, obj] : c.local(pe).elems) {
-        if (pe < rt.active_pes())
-          s.per_pe[static_cast<std::size_t>(pe)] += obj->measured_load();
-      }
-    }
+    c.pe.for_each_touched([&](std::size_t pe, PeLocal& pl) {
+      if (static_cast<int>(pe) >= rt.active_pes()) return;
+      for (auto& [ix, obj] : pl.elems)
+        s.per_pe[pe] += obj->measured_load();
+    });
   }
   if (!s.per_pe.empty()) {
     s.max = *std::max_element(s.per_pe.begin(), s.per_pe.end());

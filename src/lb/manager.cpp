@@ -49,24 +49,27 @@ Stats Manager::collect_stats(int target_pes) const {
   Stats s;
   s.npes = target_pes;
   s.pe_speed.resize(static_cast<std::size_t>(rt_.npes()), 1.0);
+  // Const machine access reads untouched PEs as default (freq 1.0) without
+  // materializing them.
+  const sim::Machine& m = rt_.machine();
   for (int pe = 0; pe < rt_.npes(); ++pe)
-    s.pe_speed[static_cast<std::size_t>(pe)] = rt_.machine().pe(pe).freq();
+    s.pe_speed[static_cast<std::size_t>(pe)] = m.pe(pe).freq();
   for (CollectionId col : cols_) {
     Collection& c = rt_.collection(col);
-    for (int pe = 0; pe < rt_.npes(); ++pe) {
-      for (auto& [ix, obj] : c.local(pe).elems) {
+    c.pe.for_each_touched([&](std::size_t pe, PeLocal& pl) {
+      for (auto& [ix, obj] : pl.elems) {
         ChareInfo info;
         info.col = col;
         info.idx = ix;
-        info.pe = pe;
+        info.pe = static_cast<int>(pe);
         // Measured load is in virtual seconds on the source PE; normalize
         // back to work units so strategies can predict times on other PEs.
-        info.work = obj->lb_round_load_ * s.pe_speed[static_cast<std::size_t>(pe)];
+        info.work = obj->lb_round_load_ * s.pe_speed[pe];
         info.migratable = obj->migratable_ && c.migratable;
         info.coords = obj->lb_coords();
         s.chares.push_back(info);
       }
-    }
+    });
   }
   // Deterministic order regardless of hash-map iteration details.
   std::sort(s.chares.begin(), s.chares.end(), [](const ChareInfo& a, const ChareInfo& b) {
@@ -90,13 +93,15 @@ void Manager::round_complete() {
   {
     std::vector<double> done(static_cast<std::size_t>(rt_.npes()), 0.0);
     double total_work = 0;
+    const sim::Machine& m = rt_.machine();
     for (CollectionId col : cols_) {
       Collection& c = rt_.collection(col);
-      for (int pe = 0; pe < rt_.npes(); ++pe)
-        for (auto& [ix, obj] : c.local(pe).elems) {
-          done[static_cast<std::size_t>(pe)] += obj->lb_round_load_;
-          total_work += obj->lb_round_load_ * rt_.machine().pe(pe).freq();
+      c.pe.for_each_touched([&](std::size_t pe, PeLocal& pl) {
+        for (auto& [ix, obj] : pl.elems) {
+          done[pe] += obj->lb_round_load_;
+          total_work += obj->lb_round_load_ * m.pe(static_cast<int>(pe)).freq();
         }
+      });
     }
     const int act = rt_.active_pes();
     info.max_load = *std::max_element(done.begin(), done.begin() + act);

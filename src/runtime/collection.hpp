@@ -17,6 +17,7 @@
 #include "runtime/chare.hpp"
 #include "runtime/envelope.hpp"
 #include "runtime/types.hpp"
+#include "sim/paged_table.hpp"
 
 namespace charm {
 
@@ -70,7 +71,11 @@ class Collection {
   bool checkpointable = true;  ///< included in FT checkpoints (groups are not)
   bool record_comm = false;  ///< record element-to-element comm edges for LB
 
-  std::vector<PeLocal> pe;
+  /// Per-PE blocks, paged on first touch: a PE that never hosts an element,
+  /// home record, or cache entry for this collection costs zero bytes
+  /// (DESIGN.md §12).  An untouched block reads as empty maps — identical to
+  /// what a dense table held before any message reached that PE.
+  sim::PagedTable<PeLocal> pe;
   std::int64_t total_elements = 0;
 
   /// In-flight reductions keyed by sequence number.
@@ -84,12 +89,20 @@ class Collection {
 
   explicit Collection(int npes) : pe(static_cast<std::size_t>(npes)) {}
 
-  PeLocal& local(int p) { return pe.at(static_cast<std::size_t>(p)); }
+  /// Mutable access; materializes the PE's block on first touch.
+  PeLocal& local(int p) { return pe.ref(static_cast<std::size_t>(p)); }
+
+  /// Touched block or nullptr; never materializes.  Read paths (location
+  /// cache probes, broadcast leg scans, LB/FT sweeps) use this so a lookup
+  /// on a never-touched PE stays zero-byte.
+  PeLocal* local_if(int p) { return pe.probe(static_cast<std::size_t>(p)); }
+  const PeLocal* local_if(int p) const { return pe.probe(static_cast<std::size_t>(p)); }
 
   ArrayElementBase* find(int p, const ObjIndex& ix) {
-    auto& m = local(p).elems;
-    auto it = m.find(ix);
-    return it == m.end() ? nullptr : it->second.get();
+    PeLocal* pl = local_if(p);
+    if (pl == nullptr) return nullptr;
+    auto it = pl->elems.find(ix);
+    return it == pl->elems.end() ? nullptr : it->second.get();
   }
 };
 

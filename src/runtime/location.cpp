@@ -172,16 +172,21 @@ void Runtime::migrate(CollectionId col, ObjIndex idx, int to_pe) {
 
 void Runtime::destroy_local(CollectionId col, ObjIndex idx, int pe) {
   Collection& c = collection(col);
-  auto& m = c.local(pe).elems;
+  PeLocal* hosting = c.local_if(pe);
+  if (hosting == nullptr) return;
+  auto& m = hosting->elems;
   auto it = m.find(idx);
   if (it == m.end()) return;
   m.erase(it);
   --c.total_elements;
   const int h = home_pe(idx);
   if (h == pe) {
-    c.local(pe).home.erase(idx);
+    hosting->home.erase(idx);
   } else {
-    send_control(h, 16, [this, col, idx, h] { collection(col).local(h).home.erase(idx); });
+    send_control(h, 16, [this, col, idx, h] {
+      // Erasing a missing record is a no-op, so probing stays equivalent.
+      if (PeLocal* pl = collection(col).local_if(h)) pl->home.erase(idx);
+    });
   }
 }
 
@@ -189,18 +194,21 @@ void Runtime::rebuild_location_tables() {
   for (auto& cp : collections_) {
     Collection& c = *cp;
     if (c.is_group) continue;
-    for (auto& pl : c.pe) {
+    // Touched-only sweeps: an untouched block has nothing to clear and hosts
+    // no elements, and re-homing writes one record per element regardless of
+    // visit order, so the rebuilt tables are identical to a dense walk.
+    c.pe.for_each_touched([](std::size_t, PeLocal& pl) {
       pl.home.clear();
       pl.loc_cache.clear();
-    }
-    for (int p = 0; p < npes(); ++p) {
-      for (auto& [ix, obj] : c.local(p).elems) {
+    });
+    c.pe.for_each_touched([this, &c](std::size_t p, PeLocal& pl) {
+      for (auto& [ix, obj] : pl.elems) {
         HomeRecord& r = c.local(home_pe(ix)).home[ix];
-        r.location = p;
+        r.location = static_cast<int>(p);
         r.arrived_epoch = obj->epoch_;
         r.in_transit = false;
       }
-    }
+    });
   }
 }
 

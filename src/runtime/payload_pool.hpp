@@ -21,10 +21,10 @@
 
 namespace charm {
 
-/// Free-list pool over std::vector<T>.  `kSmall` is the element count every
-/// recycled buffer is grown to (the "small size class" served allocation-free
-/// once warm); buffers above `kMaxRetained` elements are freed rather than
-/// retained; at most `kMaxFree` buffers are kept.
+/// Free-list pool over std::vector<T>.  `kSmall` is the documented "small
+/// size class" callers reserve for variable-size payloads (see pack_pooled);
+/// buffers above `kMaxRetained` elements are freed rather than retained; at
+/// most `kMaxFree` buffers are kept.
 template <class T, std::size_t kSmall, std::size_t kMaxRetained,
           std::size_t kMaxFree>
 class VecPool {
@@ -48,14 +48,19 @@ class VecPool {
     return buf;
   }
 
-  /// Hands a dead buffer's capacity back to the pool.
+  /// Hands a dead buffer's capacity back to the pool.  The capacity is kept
+  /// as-is, never rounded up to kSmall: retained capacity converges to what
+  /// the workload actually packs, and an acquire that needs more grows on
+  /// demand.  Eagerly inflating every recycled buffer looks free at small
+  /// scale but pins kSmall bytes behind each in-flight message — at a million
+  /// 16-byte ghost payloads that is a gigabyte of dead capacity (DESIGN.md
+  /// §12).
   void release(std::vector<T>&& buf) {
     if (buf.capacity() == 0 || buf.capacity() > kMaxRetained ||
         free_.size() >= kMaxFree) {
       return;  // let the vector free itself
     }
     buf.clear();
-    if (buf.capacity() < kSmall) buf.reserve(kSmall);
     free_.push_back(std::move(buf));
   }
 

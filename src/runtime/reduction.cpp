@@ -238,7 +238,8 @@ void Runtime::start_tree_upsweep(Collection& c, std::uint64_t seq) {
   // Reduction ranks are the PE numbers themselves (root 0, where flat
   // completions fire), so rel == abs here.
   for (int p = 0; p < P; ++p) {
-    if (c.local(p).partial.find(seq) == c.local(p).partial.end()) continue;
+    const PeLocal* pl = c.local_if(p);
+    if (pl == nullptr || pl->partial.find(seq) == pl->partial.end()) continue;
     for (int r = p;;) {
       if (redux_on_path_[static_cast<std::size_t>(r)]) break;
       redux_on_path_[static_cast<std::size_t>(r)] = 1;
@@ -352,14 +353,14 @@ void Runtime::clear_reductions(CollectionId col) {
       release_payload(std::move(chunk));
   }
   c.redux.clear();
-  for (PeLocal& pl : c.pe) {
+  c.pe.for_each_touched([this](std::size_t, PeLocal& pl) {
     for (auto& [seq, part] : pl.partial) {
       release_nums(std::move(part.nums));
       for (std::vector<std::byte>& chunk : part.chunks)
         release_payload(std::move(chunk));
     }
     pl.partial.clear();
-  }
+  });
   c.redux_floor = 0;
 }
 

@@ -16,7 +16,7 @@ Runtime* Runtime::current_ = nullptr;
 Runtime::Runtime(sim::Machine& machine, RuntimeConfig cfg)
     : machine_(machine),
       cfg_(cfg),
-      dead_(static_cast<std::size_t>(machine.npes()), false),
+      dead_(static_cast<std::size_t>(machine.npes())),
       active_pes_(machine.npes()) {
   if (current_ != nullptr)
     throw std::logic_error("charm::Runtime: only one runtime may exist at a time");
@@ -113,10 +113,14 @@ void Runtime::launch_envelope(Envelope env, int dst, bool count) {
 int Runtime::route_point(Collection& c, const ObjIndex& idx, int src_pe) {
   if (c.is_group) return static_cast<int>(IndexTraits<std::int32_t>::decode(idx));
   const int sp = src_pe >= 0 ? src_pe : 0;
-  if (c.find(sp, idx) != nullptr) return sp;
-  const auto& cache = c.local(sp).loc_cache;
-  auto it = cache.find(idx);
-  return it != cache.end() ? it->second : home_pe(idx);
+  // Probing keeps routing from a never-touched source PE zero-byte (find()
+  // already probes; the cache lookup must not materialize either).
+  if (const PeLocal* pl = c.local_if(sp); pl != nullptr) {
+    if (pl->elems.find(idx) != pl->elems.end()) return sp;
+    auto it = pl->loc_cache.find(idx);
+    if (it != pl->loc_cache.end()) return it->second;
+  }
+  return home_pe(idx);
 }
 
 void Runtime::send_point_to(CollectionId col, ObjIndex idx, EntryId ep,
@@ -261,15 +265,19 @@ void Runtime::broadcast_tree_leg(CollectionId col, EntryId ep,
           // sends overlap with this PE's delivery work.
           broadcast_forward(col, ep, payload, priority, root, relative_rank);
           Collection& c = collection(col);
-          auto& elems = c.local(abs).elems;
-          std::vector<ObjIndex> snapshot;
-          snapshot.reserve(elems.size());
-          for (const auto& [ix, unused] : elems) snapshot.push_back(ix);
-          for (const ObjIndex& ix : snapshot) {
-            ArrayElementBase* e = c.find(abs, ix);
-            if (e == nullptr) continue;
-            charge(cfg_.deliver_cost);
-            deliver_local(c, *e, ep, *payload);
+          // A PE with no block for this collection hosts no elements; the
+          // broadcast leg still forwards (above) but delivers to nothing, so
+          // probing preserves behaviour while keeping untouched PEs unpaged.
+          if (PeLocal* pl = c.local_if(abs); pl != nullptr) {
+            std::vector<ObjIndex> snapshot;
+            snapshot.reserve(pl->elems.size());
+            for (const auto& [ix, unused] : pl->elems) snapshot.push_back(ix);
+            for (const ObjIndex& ix : snapshot) {
+              ArrayElementBase* e = c.find(abs, ix);
+              if (e == nullptr) continue;
+              charge(cfg_.deliver_cost);
+              deliver_local(c, *e, ep, *payload);
+            }
           }
         }
         note_message_done();
@@ -329,10 +337,11 @@ void Runtime::broadcast_apply_leg(
         if (pe_alive(abs)) {
           broadcast_apply_forward(col, fn, priority, root, relative_rank);
           Collection& c = collection(col);
-          auto& elems = c.local(abs).elems;
           std::vector<ObjIndex> snapshot;
-          snapshot.reserve(elems.size());
-          for (const auto& [ix, unused] : elems) snapshot.push_back(ix);
+          if (PeLocal* pl = c.local_if(abs); pl != nullptr) {
+            snapshot.reserve(pl->elems.size());
+            for (const auto& [ix, unused] : pl->elems) snapshot.push_back(ix);
+          }
           for (const ObjIndex& ix : snapshot) {
             ArrayElementBase* e = c.find(abs, ix);
             if (e == nullptr) continue;
@@ -404,6 +413,16 @@ void Runtime::after(int pe, double dt, sim::Handler fn) {
   machine_.post(pe, now() + dt, std::move(fn));
 }
 
+Runtime::MemoryFootprint Runtime::memory_footprint() const {
+  MemoryFootprint f;
+  f.touched_pes = machine_.touched_pes();
+  f.pe_state_bytes = machine_.pe_state_bytes();
+  f.event_queue_bytes = machine_.event_queue_bytes();
+  for (const auto& c : collections_) f.collection_bytes += c->pe.memory_bytes();
+  f.collection_bytes += dead_.memory_bytes();
+  return f;
+}
+
 double Runtime::tree_wave_latency() const {
   const int p = std::max(2, active_pes_);
   const int depth = std::max(
@@ -414,13 +433,15 @@ double Runtime::tree_wave_latency() const {
 }
 
 void Runtime::set_pe_dead(int pe, bool dead) {
-  dead_.at(static_cast<std::size_t>(pe)) = dead;
+  dead_.set(static_cast<std::size_t>(pe), dead);
 }
 
 std::unique_ptr<ArrayElementBase> Runtime::extract_local(CollectionId col, ObjIndex idx,
                                                          int pe) {
   Collection& c = collection(col);
-  auto& m = c.local(pe).elems;
+  PeLocal* pl = c.local_if(pe);
+  if (pl == nullptr) return nullptr;
+  auto& m = pl->elems;
   auto it = m.find(idx);
   if (it == m.end()) return nullptr;
   std::unique_ptr<ArrayElementBase> obj = std::move(it->second);

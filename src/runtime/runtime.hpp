@@ -201,11 +201,12 @@ class Runtime {
   /// Marks a PE failed: its elements are dropped by the FT recovery protocol
   /// and messages to it are discarded (counted, so QD still converges).
   void set_pe_dead(int pe, bool dead);
-  bool pe_dead(int pe) const { return dead_.at(static_cast<std::size_t>(pe)); }
+  bool pe_dead(int pe) const { return dead_.test(static_cast<std::size_t>(pe)); }
   /// Live at both layers: not marked dead by the FT protocol and not
-  /// quarantined by machine-level fault injection.
+  /// quarantined by machine-level fault injection.  Both reads are
+  /// chunk/page probes, so the hot path never materializes PE state.
   bool pe_alive(int pe) const {
-    return !dead_.at(static_cast<std::size_t>(pe)) && !machine_.pe_failed(pe);
+    return !dead_.test(static_cast<std::size_t>(pe)) && !machine_.pe_failed(pe);
   }
 
   /// The element whose handler is currently executing (null outside).
@@ -231,6 +232,28 @@ class Runtime {
 
   /// Modeled critical-path latency of a PE-tree wave (reductions, QD).
   double tree_wave_latency() const;
+
+  // ---- memory accounting (DESIGN.md §12) -----------------------------------
+
+  /// Structural host-memory census of the lazy per-PE state.  Counts pages
+  /// and queue storage the paging layer owns directly; container-internal
+  /// heap nodes (map buckets, element objects) are covered by peak RSS.
+  struct MemoryFootprint {
+    std::size_t touched_pes = 0;       ///< machine-level first-touch census
+    std::size_t pe_state_bytes = 0;    ///< PE pages + ready-queue storage
+    std::size_t collection_bytes = 0;  ///< PeLocal pages across collections
+    std::size_t event_queue_bytes = 0; ///< global event-list heap + arena
+    std::size_t total() const {
+      return pe_state_bytes + collection_bytes + event_queue_bytes;
+    }
+    /// Structural bytes per touched PE (0 when nothing is touched yet).
+    double bytes_per_touched_pe() const {
+      return touched_pes == 0 ? 0.0
+                              : static_cast<double>(total()) /
+                                    static_cast<double>(touched_pes);
+    }
+  };
+  MemoryFootprint memory_footprint() const;
 
   // ---- internals used by sibling modules (lb/ft/tram) -------------------------
 
@@ -435,7 +458,10 @@ class Runtime {
   sim::Machine& machine_;
   RuntimeConfig cfg_;
   std::vector<std::unique_ptr<Collection>> collections_;
-  std::vector<bool> dead_;
+  /// FT-dead marks, chunk-allocated: test() on a never-failed region reads
+  /// false without touching memory beyond the chunk spine, and there is no
+  /// std::vector<bool> proxy-reference to trip over.
+  sim::ChunkedBitset dead_;
   int active_pes_;
 
   ArrayElementBase* exec_elem_ = nullptr;

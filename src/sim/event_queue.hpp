@@ -77,9 +77,19 @@ class EventQueue {
   /// Arena chunks are retained for reuse.
   void clear();
 
-  /// Pre-sizes the key heap and slot arena (Machine's constructor calls this
-  /// so the steady state never reallocates).
+  /// Pre-sizes the key heap and slot arena.  Safe mid-run (the arena only
+  /// appends chunks; addresses are stable), so Machine can grow the
+  /// reservation as the touched-PE population grows instead of paying for
+  /// the configured P up front.
   void reserve(std::size_t n);
+
+  /// Host bytes resident in the heap, arena chunks, and free list.
+  std::size_t memory_bytes() const {
+    return heap_.capacity() * sizeof(Key) +
+           chunks_.size() * ((std::size_t{1} << kChunkShift) * sizeof(Event)) +
+           chunks_.capacity() * sizeof(chunks_[0]) +
+           free_slots_.capacity() * sizeof(std::uint32_t);
+  }
 
  private:
   static constexpr std::size_t kArity = 4;

@@ -10,13 +10,17 @@
 namespace sim {
 
 Machine::Machine(MachineConfig cfg)
-    : cfg_(cfg),
-      topo_(cfg.npes),
-      net_(cfg.net, topo_),
-      pes_(static_cast<std::size_t>(cfg.npes)) {
+    : cfg_(cfg), topo_(cfg.npes), net_(cfg.net, topo_) {
   if (cfg.npes <= 0) throw std::invalid_argument("Machine: npes must be positive");
-  // Pre-size the event list so the steady state never reallocates it.
-  queue_.reserve(static_cast<std::size_t>(cfg.npes) * 8 + 64);
+  pes_.reset(static_cast<std::size_t>(cfg.npes));
+  // Pre-size the event list for the configured P on small machines, but cap
+  // the up-front reservation: at large P capacity is grown by the live
+  // touched-PE population instead (see step()), so a million-PE machine
+  // whose workload touches a few thousand PEs never pays for the rest.
+  constexpr std::size_t kInitialReserveCap = 4096;
+  queue_.reserve(
+      std::min(static_cast<std::size_t>(cfg.npes) * 8 + 64, kInitialReserveCap));
+  reserve_next_ = (kInitialReserveCap - 64) / 8;
 }
 
 Machine::~Machine() {
@@ -26,7 +30,7 @@ Machine::~Machine() {
 void Machine::charge(double seconds) {
   if (!in_handler()) throw std::logic_error("sim::Machine::charge outside handler");
   if (seconds < 0) throw std::invalid_argument("sim::Machine::charge: negative work");
-  ctx_.elapsed += seconds / pes_[static_cast<std::size_t>(ctx_.pe)].freq_;
+  ctx_.elapsed += seconds / pes_.ref(static_cast<std::size_t>(ctx_.pe)).freq_;
 }
 
 void Machine::send(int dst, std::size_t bytes, int priority, Handler fn,
@@ -61,7 +65,7 @@ void Machine::post(int pe, Time at, Handler fn, int priority) {
 }
 
 void Machine::schedule_exec(int pe_id, Time not_before) {
-  Pe& p = pes_[static_cast<std::size_t>(pe_id)];
+  Pe& p = pes_.ref(static_cast<std::size_t>(pe_id));
   if (p.exec_pending_) return;
   p.exec_pending_ = true;
   queue_.emplace(std::max(not_before, p.clock_), next_seq(),
@@ -87,7 +91,18 @@ bool Machine::step() {
   const Event::Kind kind = ev.kind;
   time_ = std::max(time_, at);
   ++events_processed_;
-  Pe& p = pes_[static_cast<std::size_t>(pe)];
+  // First-touch point for a PE reached by a send/post: materialize its page
+  // and, when the live population crosses the next threshold, grow the event
+  // list so steady-state capacity tracks touched PEs rather than configured P.
+  Pe& p = pes_.ref(static_cast<std::size_t>(pe));
+  if (pes_.touched() >= reserve_next_) {
+    // x2, not a bigger multiple: the arena grows on demand anyway, so the
+    // reserve only needs to cover the common ~1-2 in-flight events per live
+    // PE; at a million touched PEs each over-reserved slot is ~128 wasted
+    // bytes (an eighth of a GiB per extra multiple).
+    queue_.reserve(pes_.touched() * 2 + 64);
+    reserve_next_ = pes_.touched() * 2;
+  }
 
   if (kind == Event::Kind::kArrive) {
     const int priority = ev.priority;
@@ -173,7 +188,9 @@ void Machine::inject_failure() {
 }
 
 void Machine::fail_pe(int pe_id, FaultRecord* rec) {
-  Pe& p = pes_.at(static_cast<std::size_t>(pe_id));
+  // ref(), not probe(): failing a never-touched PE must materialize it so the
+  // quarantine flag persists for later arrivals.
+  Pe& p = pes_.ref(static_cast<std::size_t>(pe_id));
   if (p.failed_) return;
   p.failed_ = true;
   if (rec != nullptr) rec->dropped_ready = p.ready_.size();
@@ -191,7 +208,10 @@ void Machine::fail_pe(int pe_id, FaultRecord* rec) {
 }
 
 void Machine::revive_pe(int pe_id) {
-  pes_.at(static_cast<std::size_t>(pe_id)).failed_ = false;
+  // Only a materialized PE can be in quarantine; probe avoids resurrecting
+  // pages for PEs that were never failed in the first place.
+  Pe* p = pes_.probe(static_cast<std::size_t>(pe_id));
+  if (p != nullptr) p->failed_ = false;
 }
 
 bool Machine::dispose(int dead_pe, Time at, int priority, std::size_t bytes,
@@ -202,7 +222,10 @@ bool Machine::dispose(int dead_pe, Time at, int priority, std::size_t bytes,
     // Re-deliver to the nearest live PE; fall through to drop if none is left.
     for (int k = 1; k < npes(); ++k) {
       const int cand = (dead_pe + k) % npes();
-      if (pes_[static_cast<std::size_t>(cand)].failed_) continue;
+      // A never-touched candidate is alive by definition; probing keeps the
+      // scan from materializing every PE between the dead one and a survivor.
+      const Pe* cp = pes_.probe(static_cast<std::size_t>(cand));
+      if (cp != nullptr && cp->failed_) continue;
       ++redirects_;
       queue_.emplace(std::max(at, time_), next_seq(), Event::Kind::kArrive,
                      cand, priority, bytes)
@@ -239,9 +262,17 @@ bool Machine::dispose(int dead_pe, Time at, int priority, std::size_t bytes,
 }
 
 Time Machine::max_pe_clock() const {
+  // Untouched PEs sit at clock 0, so folding over touched slots is exact.
   Time t = 0;
-  for (const Pe& p : pes_) t = std::max(t, p.clock_);
+  pes_.for_each_touched([&t](std::size_t, const Pe& p) { t = std::max(t, p.clock_); });
   return t;
+}
+
+std::size_t Machine::pe_state_bytes() const {
+  std::size_t bytes = pes_.memory_bytes();
+  pes_.for_each_touched(
+      [&bytes](std::size_t, const Pe& p) { bytes += p.ready_memory_bytes(); });
+  return bytes;
 }
 
 }  // namespace sim

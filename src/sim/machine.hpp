@@ -22,6 +22,7 @@
 
 #include "sim/event_queue.hpp"
 #include "sim/network.hpp"
+#include "sim/paged_table.hpp"
 #include "sim/ready_queue.hpp"
 #include "sim/topology.hpp"
 
@@ -58,6 +59,9 @@ class Pe {
   /// True while the PE is quarantined by fault injection.
   bool failed() const { return failed_; }
 
+  /// Host bytes held by this PE's ready queue (memory accounting only).
+  std::size_t ready_memory_bytes() const { return ready_.memory_bytes(); }
+
  private:
   friend class Machine;
 
@@ -79,9 +83,21 @@ class Machine {
   Machine(const Machine&) = delete;
   Machine& operator=(const Machine&) = delete;
 
-  int npes() const { return static_cast<int>(pes_.size()); }
-  Pe& pe(int i) { return pes_.at(static_cast<std::size_t>(i)); }
-  const Pe& pe(int i) const { return pes_.at(static_cast<std::size_t>(i)); }
+  int npes() const { return cfg_.npes; }
+  /// Mutable PE access materializes the PE's page on first touch.
+  Pe& pe(int i) { return pes_.ref(static_cast<std::size_t>(i)); }
+  /// Const access never materializes: an untouched PE reads as the default
+  /// state (clock 0, frequency 1.0, alive) — exactly what a dense table
+  /// held before any event reached it.
+  const Pe& pe(int i) const { return pes_.at_or_default(static_cast<std::size_t>(i)); }
+
+  /// PEs whose state has materialized (first-touch census); untouched PEs
+  /// cost zero bytes beyond one page pointer per 64 slots.
+  std::size_t touched_pes() const { return pes_.touched(); }
+  /// Host bytes resident in per-PE state (PE pages + ready-queue storage).
+  std::size_t pe_state_bytes() const;
+  /// Host bytes resident in the global event list (heap + slot arena).
+  std::size_t event_queue_bytes() const { return queue_.memory_bytes(); }
   const Torus3D& topology() const { return topo_; }
   const NetworkModel& network() const { return net_; }
   const MachineConfig& config() const { return cfg_; }
@@ -138,7 +154,10 @@ class Machine {
   void set_fault_injector(FaultInjector* fi) { injector_ = fi; }
   FaultInjector* fault_injector() const { return injector_; }
 
-  bool pe_failed(int pe) const { return pes_.at(static_cast<std::size_t>(pe)).failed_; }
+  bool pe_failed(int pe) const {
+    const Pe* p = pes_.probe(static_cast<std::size_t>(pe));
+    return p != nullptr && p->failed_;
+  }
   /// Quarantines `pe` immediately: queued messages are disposed per the
   /// injector's drop policy (kDrop when no injector is attached) and later
   /// arrivals are disposed on delivery.  `rec`, when given, accumulates
@@ -188,8 +207,11 @@ class Machine {
   trace::Tracer* tracer_ = nullptr;
   introspect::Monitor* metrics_ = nullptr;
   FaultInjector* injector_ = nullptr;
-  std::vector<Pe> pes_;
+  PagedTable<Pe> pes_;
   EventQueue queue_;
+  /// Touched-PE threshold at which the event-list reservation grows next
+  /// (population-driven sizing: capacity tracks live PEs, not configured P).
+  std::size_t reserve_next_ = 0;
   ExecCtx ctx_;
   Time time_ = 0;
   std::uint64_t seq_ = 0;

@@ -85,6 +85,11 @@ class ReadyQueue {
     heap_.clear();
   }
 
+  /// Host bytes held by the ring and heap storage (memory accounting only).
+  std::size_t memory_bytes() const {
+    return (ring_.capacity() + heap_.capacity()) * sizeof(ReadyMsg);
+  }
+
  private:
   static constexpr std::size_t kArity = 4;
 
@@ -100,7 +105,10 @@ class ReadyQueue {
   }
 
   void grow_ring() {
-    const std::size_t cap = ring_.empty() ? 8 : ring_.size() * 2;
+    // Start tiny: with a million touched PEs each holding a ring, the
+    // difference between an 8-slot and a 2-slot initial capacity is hundreds
+    // of MB.  PEs with deeper queues still double up to whatever they need.
+    const std::size_t cap = ring_.empty() ? 2 : ring_.size() * 2;
     std::vector<ReadyMsg> next(cap);
     for (std::size_t i = 0; i < fifo_count_; ++i)
       next[i] = std::move(ring_[(head_ + i) & (ring_.size() - 1)]);

@@ -32,10 +32,6 @@ std::array<int, 3> factor3(int n) {
 
 Torus3D::Torus3D(int npes) : npes_(npes), dims_(factor3(npes)) {
   if (npes <= 0) throw std::invalid_argument("Torus3D: npes must be positive");
-  coords_.reserve(static_cast<std::size_t>(npes));
-  const auto& d = dims_;
-  for (int pe = 0; pe < npes; ++pe)
-    coords_.push_back({pe % d[0], (pe / d[0]) % d[1], pe / (d[0] * d[1])});
 }
 
 int Torus3D::pe_at(const std::array<int, 3>& c) const {

@@ -17,11 +17,12 @@ class Torus3D {
   int npes() const { return npes_; }
   const std::array<int, 3>& dims() const { return dims_; }
 
-  // Coordinates come from a table built once at construction: hops() sits on
-  // the per-message network path, and deriving coords arithmetically would
-  // cost two integer divisions per call.
-  const std::array<int, 3>& coords(int pe) const {
-    return coords_[static_cast<std::size_t>(pe)];
+  // Coordinates are derived arithmetically (two integer divisions): a
+  // precomputed table costs 12 bytes per PE — 12 MB of always-resident state
+  // on a million-virtual-PE machine that blows the per-idle-PE budget
+  // (DESIGN.md §12) and falls out of cache long before the divisions matter.
+  std::array<int, 3> coords(int pe) const {
+    return {pe % dims_[0], (pe / dims_[0]) % dims_[1], pe / (dims_[0] * dims_[1])};
   }
   int pe_at(const std::array<int, 3>& c) const;
 
@@ -43,7 +44,6 @@ class Torus3D {
 
   int npes_;
   std::array<int, 3> dims_;
-  std::vector<std::array<int, 3>> coords_;
 };
 
 }  // namespace sim

@@ -12,14 +12,19 @@ Core::Core(Runtime& rt, CollectionId target, Params params)
       pes_(static_cast<std::size_t>(rt.npes())) {}
 
 int Core::resolve_dest(int pe, const ObjIndex& idx) {
+  // Location reads probe: a PE with no PeLocal block has no cache or home
+  // entries, so the answer is the same as a dense lookup on empty maps.
   Collection& c = rt_.collection(col_);
   if (c.find(pe, idx) != nullptr) return pe;
-  const auto& cache = c.local(pe).loc_cache;
-  if (auto it = cache.find(idx); it != cache.end()) return it->second;
+  const PeLocal* pl = c.local_if(pe);
+  if (pl != nullptr) {
+    if (auto it = pl->loc_cache.find(idx); it != pl->loc_cache.end())
+      return it->second;
+  }
   int dest = rt_.home_pe(idx);
-  if (dest == pe) {
-    auto hit = c.local(pe).home.find(idx);
-    if (hit != c.local(pe).home.end() && hit->second.location != kInvalidPe)
+  if (dest == pe && pl != nullptr) {
+    auto hit = pl->home.find(idx);
+    if (hit != pl->home.end() && hit->second.location != kInvalidPe)
       dest = hit->second.location;
   }
   return dest;
@@ -27,16 +32,21 @@ int Core::resolve_dest(int pe, const ObjIndex& idx) {
 
 int Core::better_location(int pe, const ObjIndex& idx) {
   Collection& c = rt_.collection(col_);
+  const PeLocal* pl = c.local_if(pe);
   int better = kInvalidPe;
   if (rt_.home_pe(idx) == pe) {
-    auto it = c.local(pe).home.find(idx);
-    if (it != c.local(pe).home.end() && !it->second.in_transit &&
-        it->second.location != kInvalidPe && it->second.location != pe) {
-      better = it->second.location;
+    if (pl != nullptr) {
+      auto it = pl->home.find(idx);
+      if (it != pl->home.end() && !it->second.in_transit &&
+          it->second.location != kInvalidPe && it->second.location != pe) {
+        better = it->second.location;
+      }
     }
   } else {
-    auto it = c.local(pe).loc_cache.find(idx);
-    if (it != c.local(pe).loc_cache.end() && it->second != pe) better = it->second;
+    if (pl != nullptr) {
+      auto it = pl->loc_cache.find(idx);
+      if (it != pl->loc_cache.end() && it->second != pe) better = it->second;
+    }
     if (better == kInvalidPe) better = rt_.home_pe(idx);
   }
   return better;
@@ -75,7 +85,7 @@ void Core::route_packed(int pe, const ObjIndex& idx, EntryId ep, int dest,
 }
 
 Core::Buffer& Core::buffer_for(int pe, int peer) {
-  auto& buffers = pes_[static_cast<std::size_t>(pe)].buffers;
+  auto& buffers = pes_.ref(static_cast<std::size_t>(pe)).buffers;
   auto it = buffers.find(peer);
   if (it == buffers.end()) {
     it = buffers.emplace(peer, Buffer{}).first;
@@ -106,11 +116,12 @@ void Core::insert(const ObjIndex& dest_idx, EntryId ep, std::vector<std::byte> p
 }
 
 void Core::flush_buffer(int pe, int peer, bool flush_through) {
-  auto& state = pes_[static_cast<std::size_t>(pe)];
-  auto it = state.buffers.find(peer);
-  if (it == state.buffers.end() || it->second.count == 0) return;
+  PeState* state = pes_.probe(static_cast<std::size_t>(pe));
+  if (state == nullptr) return;  // never buffered anything: nothing to flush
+  auto it = state->buffers.find(peer);
+  if (it == state->buffers.end() || it->second.count == 0) return;
   Buffer buf = std::move(it->second);
-  state.buffers.erase(it);
+  state->buffers.erase(it);
 
   const std::size_t bytes = buf.payload_bytes + buf.count * params_.item_overhead;
   ++batches_;
@@ -150,10 +161,11 @@ void Core::deliver_batch(int pe, Buffer buf, bool flush_through) {
 }
 
 void Core::flush_pe(int pe, bool flush_through) {
-  auto& state = pes_[static_cast<std::size_t>(pe)];
+  PeState* state = pes_.probe(static_cast<std::size_t>(pe));
+  if (state == nullptr) return;
   std::vector<int> peers;
-  peers.reserve(state.buffers.size());
-  for (const auto& [peer, buf] : state.buffers)
+  peers.reserve(state->buffers.size());
+  for (const auto& [peer, buf] : state->buffers)
     if (buf.count != 0) peers.push_back(peer);
   std::sort(peers.begin(), peers.end());  // deterministic flush order
   for (int peer : peers) flush_buffer(pe, peer, flush_through);

@@ -28,6 +28,7 @@
 
 #include "runtime/proxy.hpp"
 #include "runtime/runtime.hpp"
+#include "sim/paged_table.hpp"
 
 namespace charm::tram {
 
@@ -147,7 +148,9 @@ class Core {
   Runtime& rt_;
   CollectionId col_;
   Params params_;
-  std::vector<PeState> pes_;
+  /// Per-PE buffer sets, paged on first touch: a stream over a P-PE machine
+  /// costs memory only on the PEs that actually insert or relay items.
+  sim::PagedTable<PeState> pes_;
   std::uint64_t items_ = 0;
   std::uint64_t routed_items_ = 0;
   std::uint64_t batches_ = 0;
