@@ -8,10 +8,15 @@
 #include <benchmark/benchmark.h>
 #include <sys/resource.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "lb/load_db.hpp"
 #include "runtime/charm.hpp"
 #include "tram/tram.hpp"
 
@@ -334,6 +339,170 @@ void BM_TramAggregationFactor(benchmark::State& state) {
   state.counters["virtual_ms"] = virtual_time * 1e3;
 }
 BENCHMARK(BM_TramAggregationFactor)->Arg(1)->Arg(16)->Arg(64)->Arg(256);
+
+// ---- LB decision loop (DESIGN.md §13) --------------------------------------
+//
+// One "round" is what the runtime does between the AtSync barrier and the
+// migration broadcast: refresh every chare's measured load, produce the
+// strategy input, run the strategy, and apply its decisions.  BM_LbAssign_*
+// drives the persistent load database (O(dirty) snapshot + the indexed
+// strategy paths); BM_LbAssignRebuild_* replays the pre-database cost model
+// on the same workload — regroup every chare from the per-PE element tables,
+// canonical-sort them, and hand the strategy an index-less Stats so it takes
+// its from-scratch scan path.  Decisions are bit-identical between the two
+// (the oracle fuzz in tests/features/test_lb_incremental.cpp proves it), so
+// the us_per_round ratio isolates the decision-loop overhead the database
+// removes.  The workload models the paper's persistence principle (§III-A):
+// after a warm-up converges placement, ~1% of loads drift per round and each
+// round's migrations feed back into the next.
+
+std::uint64_t lb_mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+constexpr int kLbPes = 64;
+
+double lb_load(int i, int generation) {
+  const std::uint64_t h =
+      lb_mix(static_cast<std::uint64_t>(i) * 0x51ull + static_cast<std::uint64_t>(generation));
+  return (1.0 + static_cast<double>(h % 1024) / 1024.0) * 1e-3;
+}
+
+/// Per-round load drift: ~1% of chares report a different measurement.
+void lb_perturb(std::vector<double>& load, int round) {
+  const int n = static_cast<int>(load.size());
+  const int changed = n / 100 + 1;
+  for (int j = 0; j < changed; ++j) {
+    const int i = static_cast<int>((static_cast<std::uint64_t>(round) * 9973ull +
+                                    static_cast<std::uint64_t>(j) * 101ull) %
+                                   static_cast<std::uint64_t>(n));
+    load[i] = lb_load(i, round + 1);
+  }
+}
+
+std::unique_ptr<lb::Strategy> lb_make(const std::string& which) {
+  return which == "greedy" ? lb::make_greedy() : lb::make_refine(1.05);
+}
+
+template <class RunRound>
+void lb_assign_loop(benchmark::State& state, int n, RunRound&& run_round) {
+  for (int w = 0; w < 4; ++w) run_round();  // converge to the steady state
+  std::int64_t moved = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (auto _ : state) moved += run_round();
+  const auto t1 = std::chrono::steady_clock::now();
+  const double us = std::chrono::duration<double, std::micro>(t1 - t0).count();
+  state.SetItemsProcessed(state.iterations() * n);
+  state.counters["us_per_round"] = us / static_cast<double>(state.iterations());
+  state.counters["moved_per_round"] =
+      static_cast<double>(moved) / static_cast<double>(state.iterations());
+}
+
+void lb_assign_db(benchmark::State& state, const std::string& which) {
+  const int n = static_cast<int>(state.range(0));
+  auto strat = lb_make(which);
+  lb::LoadDb db;
+  lb::SpeedMap speed;
+  std::vector<double> load(static_cast<std::size_t>(n));
+  std::vector<int> pe(static_cast<std::size_t>(n));
+  std::vector<std::uint32_t> slot(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    pe[i] = static_cast<int>(static_cast<std::int64_t>(i) * kLbPes / n);
+    load[i] = lb_load(i, 0);
+    slot[i] = db.add(0, ObjIndex{static_cast<std::uint64_t>(i), 0}, pe[i], load[i], true, true,
+                     std::array<double, 3>{}, nullptr);
+  }
+  int round = 0;
+  auto run_round = [&]() -> std::int64_t {
+    lb_perturb(load, round);
+    for (int i = 0; i < n; ++i) db.update_load(slot[i], load[i]);
+    lb::Stats st = db.snapshot(kLbPes, speed);
+    const std::vector<lb::Migration> migs = strat->assign(st);
+    db.recycle(std::move(st));  // as the manager does after the strategy runs
+    for (const lb::Migration& mg : migs) {
+      const int i = static_cast<int>(mg.idx.a);
+      db.remove(slot[i]);
+      pe[i] = mg.to;
+      slot[i] = db.add(0, mg.idx, mg.to, load[i], true, true, std::array<double, 3>{}, nullptr);
+    }
+    ++round;
+    return static_cast<std::int64_t>(migs.size());
+  };
+  lb_assign_loop(state, n, run_round);
+  state.counters["db_dirty_reads"] = static_cast<double>(db.counters().dirty_flushed);
+  state.counters["db_full_sorts"] = static_cast<double>(db.counters().index_full_sorts);
+}
+
+void lb_assign_rebuild(benchmark::State& state, const std::string& which) {
+  const int n = static_cast<int>(state.range(0));
+  auto strat = lb_make(which);
+  std::vector<double> load(static_cast<std::size_t>(n));
+  std::vector<int> pe(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    pe[i] = static_cast<int>(static_cast<std::int64_t>(i) * kLbPes / n);
+    load[i] = lb_load(i, 0);
+  }
+  std::vector<int> off(kLbPes + 1, 0);
+  // The old collect walked each PE's unordered element table, so within a PE
+  // the chares arrive in hash order, not index order; emulate that with a
+  // fixed permutation or the canonical sort below gets artificially easy
+  // presorted runs.
+  std::vector<int> walk(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) walk[i] = i;
+  for (int i = n - 1; i > 0; --i)
+    std::swap(walk[i], walk[lb_mix(0xabcdull + static_cast<std::uint64_t>(i)) %
+                            static_cast<std::uint64_t>(i + 1)]);
+  int round = 0;
+  auto run_round = [&]() -> std::int64_t {
+    lb_perturb(load, round);
+    // A fresh Stats per round, as the old rebuild built one: regroup by
+    // hosting PE first — the shape the per-PE element tables hand back —
+    // then canonical-sort, exactly as the pre-database collect did.
+    lb::Stats st;
+    st.npes = kLbPes;
+    std::fill(off.begin(), off.end(), 0);
+    for (int i = 0; i < n; ++i) ++off[pe[i] + 1];
+    for (int p = 0; p < kLbPes; ++p) off[p + 1] += off[p];
+    st.chares.resize(static_cast<std::size_t>(n));
+    for (int k = 0; k < n; ++k) {
+      const int i = walk[k];
+      lb::ChareInfo& info = st.chares[off[pe[i]]++];
+      info.col = 0;
+      info.idx = ObjIndex{static_cast<std::uint64_t>(i), 0};
+      info.pe = pe[i];
+      info.work = load[i];
+      info.migratable = true;
+    }
+    std::sort(st.chares.begin(), st.chares.end(), [](const lb::ChareInfo& a, const lb::ChareInfo& b) {
+      if (a.col != b.col) return a.col < b.col;
+      if (a.idx.a != b.idx.a) return a.idx.a < b.idx.a;
+      return a.idx.b < b.idx.b;
+    });
+    st.aux = lb::StatsAux{};  // index-less: strategies take the rebuild path
+    const std::vector<lb::Migration> migs = strat->assign(st);
+    for (const lb::Migration& mg : migs) pe[static_cast<int>(mg.idx.a)] = mg.to;
+    ++round;
+    return static_cast<std::int64_t>(migs.size());
+  };
+  lb_assign_loop(state, n, run_round);
+}
+
+void BM_LbAssign_Greedy(benchmark::State& state) { lb_assign_db(state, "greedy"); }
+BENCHMARK(BM_LbAssign_Greedy)->Arg(10000)->Arg(100000)->Arg(1000000)->Unit(benchmark::kMillisecond);
+
+void BM_LbAssign_Refine(benchmark::State& state) { lb_assign_db(state, "refine"); }
+BENCHMARK(BM_LbAssign_Refine)->Arg(10000)->Arg(100000)->Arg(1000000)->Unit(benchmark::kMillisecond);
+
+void BM_LbAssignRebuild_Greedy(benchmark::State& state) { lb_assign_rebuild(state, "greedy"); }
+BENCHMARK(BM_LbAssignRebuild_Greedy)
+    ->Arg(10000)->Arg(100000)->Arg(1000000)->Unit(benchmark::kMillisecond);
+
+void BM_LbAssignRebuild_Refine(benchmark::State& state) { lb_assign_rebuild(state, "refine"); }
+BENCHMARK(BM_LbAssignRebuild_Refine)
+    ->Arg(10000)->Arg(100000)->Arg(1000000)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -15,14 +15,25 @@ when the named benchmark's items_per_second falls below the floor.  CI uses
 conservative floors (an order of magnitude under typical rates) so only a
 real hot-path regression trips the gate, not shared-runner noise.
 
-Counter ceilings gate footprint: --gate-max NAME/COUNTER=MAX fails (exit 1)
-when the named benchmark's counter exceeds the ceiling.  Unlike the rate
-floors these gate *structural byte accounting* (mem_bytes_per_idle_pe and
-friends from BM_SparseFootprint), which is deterministic across hosts, so
-the ceilings can sit close to the measured values.
+Counter ceilings gate costs: --gate-max NAME/COUNTER=MAX fails (exit 1) when
+the named benchmark's counter exceeds the ceiling.  Two kinds are in use:
+*structural byte accounting* (mem_bytes_per_idle_pe and friends from
+BM_SparseFootprint) is deterministic across hosts, so those ceilings sit
+close to the measured values; *host-time ceilings* (us_per_round from
+BM_LbAssign_*) are as noisy as the rate floors and get the same order-of-
+magnitude headroom.  Benchmark names may contain '/' arg suffixes — the
+counter name is everything after the LAST '/'.
+
+Ratio ceilings gate one benchmark against another from the same run:
+--gate-ratio NAME/COUNTER,REF/COUNTER=MAX fails (exit 1) when the first
+counter exceeds MAX times the second.  Both sides ran on the same host
+moments apart, so the ratio is robust to runner speed — this is how the
+"incremental LB round is >= 5x cheaper than the full-rebuild round" claim
+is enforced (ratio <= 0.2) without hardcoding a machine-specific time.
 
 Usage: micro_to_stats.py RAW.json OUT.json [--smoke] [--gate NAME=RATE]...
                          [--gate-max NAME/COUNTER=MAX]...
+                         [--gate-ratio NAME/COUNTER,REF/COUNTER=MAX]...
 """
 import json
 import sys
@@ -71,7 +82,7 @@ def convert(raw, smoke):
     }
 
 
-def apply_gates(doc, gates, max_gates):
+def apply_gates(doc, gates, max_gates, ratio_gates):
     rates = {b["name"]: b.get("items_per_second")
              for b in doc["benchmarks"]}
     counters = {b["name"]: b.get("counters", {}) for b in doc["benchmarks"]}
@@ -101,14 +112,45 @@ def apply_gates(doc, gates, max_gates):
         else:
             print(f"gate-max {name}/{counter}: {value:g} <= ceiling "
                   f"{ceiling:g} OK")
+    for (name, counter), (rname, rcounter), max_ratio in ratio_gates:
+        value = counters.get(name, {}).get(counter)
+        ref = counters.get(rname, {}).get(rcounter)
+        if value is None or ref is None or ref == 0:
+            print(f"gate-ratio {name}/{counter} vs {rname}/{rcounter}: "
+                  f"benchmark or counter missing", file=sys.stderr)
+            bad += 1
+        elif value > max_ratio * ref:
+            print(f"gate-ratio {name}/{counter}: {value:g} > "
+                  f"{max_ratio:g} * {rname}/{rcounter} ({ref:g})",
+                  file=sys.stderr)
+            bad += 1
+        else:
+            print(f"gate-ratio {name}/{counter}: {value:g} <= {max_ratio:g} "
+                  f"* {ref:g} OK ({value / ref:.3f}x)")
     return bad
 
 
 def main(argv):
-    paths, smoke, gates, max_gates = [], False, [], []
+    paths, smoke, gates, max_gates, ratio_gates = [], False, [], [], []
     for arg in argv[1:]:
         if arg == "--smoke":
             smoke = True
+        elif arg.startswith("--gate-ratio="):
+            spec = arg.split("=", 1)[1]
+            if "," not in spec or "=" not in spec:
+                print("--gate-ratio expects "
+                      "--gate-ratio=NAME/COUNTER,REF/COUNTER=MAX",
+                      file=sys.stderr)
+                return 2
+            targets, max_ratio = spec.split("=", 1)
+            left, right = targets.split(",", 1)
+            if "/" not in left or "/" not in right:
+                print("--gate-ratio targets need a /COUNTER suffix",
+                      file=sys.stderr)
+                return 2
+            ratio_gates.append((tuple(left.rsplit("/", 1)),
+                                tuple(right.rsplit("/", 1)),
+                                float(max_ratio)))
         elif arg.startswith("--gate-max="):
             spec = arg.split("=", 1)[1]
             if "/" not in spec or "=" not in spec:
@@ -116,7 +158,9 @@ def main(argv):
                       file=sys.stderr)
                 return 2
             target, ceiling = spec.split("=", 1)
-            name, counter = target.split("/", 1)
+            # Benchmark names can themselves contain '/' (arg suffixes like
+            # BM_LbAssign_Refine/100000); the counter is the last component.
+            name, counter = target.rsplit("/", 1)
             max_gates.append((name, counter, float(ceiling)))
         elif arg.startswith("--gate"):
             spec = arg.split("=", 1)[1] if arg.startswith("--gate=") else None
@@ -137,7 +181,7 @@ def main(argv):
         json.dump(doc, f, separators=(",", ":"))
         f.write("\n")
     print(f"{paths[1]}: {len(doc['benchmarks'])} benchmarks")
-    return 1 if apply_gates(doc, gates, max_gates) else 0
+    return 1 if apply_gates(doc, gates, max_gates, ratio_gates) else 0
 
 
 if __name__ == "__main__":

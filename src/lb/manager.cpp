@@ -16,7 +16,22 @@ namespace charm::lb {
 Manager::Manager(Runtime& rt) : rt_(rt) {}
 Manager::~Manager() = default;
 
-void Manager::register_collection(CollectionId col) { cols_.push_back(col); }
+void Manager::register_collection(CollectionId col) {
+  cols_.push_back(col);
+  if (static_cast<std::size_t>(col) >= tracked_.size())
+    tracked_.resize(static_cast<std::size_t>(col) + 1, 0);
+  if (tracked_[static_cast<std::size_t>(col)]) return;
+  tracked_[static_cast<std::size_t>(col)] = 1;
+  // Ingest elements that were seeded before the collection registered; later
+  // lifecycle events arrive through the runtime hooks.
+  Collection& c = rt_.collection(col);
+  c.pe.for_each_touched([&](std::size_t, PeLocal& pl) {
+    for (auto& [ix, obj] : pl.elems) {
+      (void)ix;
+      on_element_added(c, *obj);
+    }
+  });
+}
 
 void Manager::set_strategy(std::unique_ptr<Strategy> s) { strategy_ = std::move(s); }
 
@@ -33,9 +48,24 @@ std::int64_t Manager::registered_total() const {
   return n;
 }
 
+void Manager::on_element_added(Collection& c, ArrayElementBase& e) {
+  if (!tracked(c.id)) return;
+  e.lb_slot_ = db_.add(c.id, e.idx_, e.pe_, e.lb_round_load_, e.migratable_, c.migratable,
+                       e.lb_coords(), &e);
+}
+
+void Manager::on_element_removed(ArrayElementBase& e) {
+  if (e.lb_slot_ == LoadDb::kNoSlot) return;
+  db_.remove(e.lb_slot_);
+  e.lb_slot_ = LoadDb::kNoSlot;
+}
+
 void Manager::element_sync(ArrayElementBase& elem) {
   if (phase_ != Phase::kCollecting)
     throw std::logic_error("at_sync called while an LB round is in progress");
+  // O(1) load-database update: the value snapshotted below is exactly what
+  // the strategies will read for this element this round.
+  if (elem.lb_slot_ != LoadDb::kNoSlot) db_.update_load(elem.lb_slot_, elem.lb_load_);
   // Snapshot-and-reset at the sync point: work done after this instant (the
   // resume broadcast can race other elements' next-step messages) belongs to
   // the next round.
@@ -45,15 +75,31 @@ void Manager::element_sync(ArrayElementBase& elem) {
   if (synced_ >= registered_total()) round_complete();
 }
 
-Stats Manager::collect_stats(int target_pes) const {
+const SpeedMap& Manager::current_speeds() {
+  speeds_ = SpeedMap();
+  rt_.machine().for_each_touched_pe([&](int pe, const sim::Pe& p) {
+    if (p.freq() != 1.0) speeds_.set(pe, p.freq());
+  });
+  return speeds_;
+}
+
+Stats Manager::collect_stats(int target_pes) {
+  return db_.snapshot(target_pes, current_speeds());
+}
+
+Stats Manager::snapshot_stats(int target_pes) { return collect_stats(target_pes); }
+
+Stats Manager::rebuild_stats(int target_pes) const {
   Stats s;
   s.npes = target_pes;
-  s.pe_speed.resize(static_cast<std::size_t>(rt_.npes()), 1.0);
-  // Const machine access reads untouched PEs as default (freq 1.0) without
-  // materializing them.
+  // Untouched PEs read as frequency 1.0 — the SpeedMap default — so a
+  // touched-only walk sees every non-default speed without a dense O(P)
+  // vector.
   const sim::Machine& m = rt_.machine();
-  for (int pe = 0; pe < rt_.npes(); ++pe)
-    s.pe_speed[static_cast<std::size_t>(pe)] = m.pe(pe).freq();
+  m.for_each_touched_pe([&](int pe, const sim::Pe& p) {
+    if (p.freq() != 1.0) s.pe_speed.set(pe, p.freq());
+  });
+  s.chares.reserve(static_cast<std::size_t>(registered_total()));
   for (CollectionId col : cols_) {
     Collection& c = rt_.collection(col);
     c.pe.for_each_touched([&](std::size_t pe, PeLocal& pl) {
@@ -86,27 +132,16 @@ void Manager::round_complete() {
   ++round_;
   round_started_ = rt_.now();
 
-  // Round statistics (bookkeeping only; gather costs are modeled when a
-  // strategy actually runs).
+  // Round statistics from the live per-PE aggregates (bookkeeping only;
+  // gather costs are modeled when a strategy actually runs).
   RoundInfo info;
   info.round = round_;
   {
-    std::vector<double> done(static_cast<std::size_t>(rt_.npes()), 0.0);
-    double total_work = 0;
-    const sim::Machine& m = rt_.machine();
-    for (CollectionId col : cols_) {
-      Collection& c = rt_.collection(col);
-      c.pe.for_each_touched([&](std::size_t pe, PeLocal& pl) {
-        for (auto& [ix, obj] : pl.elems) {
-          done[pe] += obj->lb_round_load_;
-          total_work += obj->lb_round_load_ * m.pe(static_cast<int>(pe)).freq();
-        }
-      });
-    }
-    const int act = rt_.active_pes();
-    info.max_load = *std::max_element(done.begin(), done.begin() + act);
-    info.avg_load = std::accumulate(done.begin(), done.begin() + act, 0.0) / act;
-    info.avg_work = total_work / act;
+    const LoadDb::RoundAggregates agg =
+        db_.round_aggregates(rt_.active_pes(), current_speeds());
+    info.max_load = agg.max_load;
+    info.avg_load = agg.avg_load;
+    info.avg_work = agg.avg_work;
   }
 
   const bool do_reconfig = reconfig_pending_;
@@ -155,7 +190,7 @@ void Manager::run_central(int target_pes) {
   const double gather_bytes = static_cast<double>(stats.chares.size()) * stats_bytes_per_chare;
   const double gather_delay = rt_.tree_wave_latency() + gather_bytes / net.bandwidth;
 
-  rt_.after(0, gather_delay, [this, stats = std::move(stats)]() {
+  rt_.after(0, gather_delay, [this, stats = std::move(stats)]() mutable {
     rt_.charge(strategy_base_cost +
                strategy_cost_per_chare * static_cast<double>(stats.chares.size()));
     std::unique_ptr<Strategy> fallback;
@@ -168,6 +203,7 @@ void Manager::run_central(int target_pes) {
     migs.erase(std::remove_if(migs.begin(), migs.end(),
                               [](const Migration& m) { return m.from == m.to; }),
                migs.end());
+    db_.recycle(std::move(stats));  // hand the snapshot buffers back for reuse
     begin_migrations(migs);
   });
 }
@@ -176,7 +212,7 @@ void Manager::run_distributed() {
   Stats stats = collect_stats(rt_.active_pes());
   // One allreduce gives every PE the average load; decisions are then local.
   const double allreduce_delay = 2.0 * rt_.tree_wave_latency();
-  rt_.after(0, allreduce_delay, [this, stats = std::move(stats)]() {
+  rt_.after(0, allreduce_delay, [this, stats = std::move(stats)]() mutable {
     rt_.charge(strategy_base_cost);
     GossipResult g = gossip_assign(stats, sim::derive_seed(dist_seed_,
                                                            static_cast<std::uint64_t>(round_)));
@@ -187,6 +223,7 @@ void Manager::run_distributed() {
           static_cast<int>(traffic.next_below(static_cast<std::uint64_t>(rt_.active_pes())));
       rt_.send_control(dst, 16, []() {});
     }
+    db_.recycle(std::move(stats));
     begin_migrations(g.migrations);
   });
 }

@@ -7,12 +7,20 @@
 // stats, compute a new mapping, migrate chares, then resume everyone.
 // Malleable shrink/expand (§III-D) and the power manager's temperature-aware
 // rebalancing (§III-C) are implemented as externally triggered rounds.
+//
+// The manager keeps the chare load database (lb::LoadDb) continuously
+// up to date — the runtime notifies it on every element add/remove (seed,
+// migration, destroy, checkpoint-restore, shrink/expand) and each AtSync
+// records the element's round load in O(1) — so a strategy round reads an
+// incrementally-maintained snapshot instead of re-walking every chare
+// (DESIGN.md §13).
 
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <vector>
 
+#include "lb/load_db.hpp"
 #include "lb/strategy.hpp"
 #include "runtime/callback.hpp"
 #include "runtime/types.hpp"
@@ -20,6 +28,7 @@
 namespace charm {
 
 class Runtime;
+class Collection;
 class ArrayElementBase;
 
 namespace lb {
@@ -72,10 +81,24 @@ class Manager {
   /// Called by the runtime when an LB-initiated migration lands.
   void note_migration_arrival();
 
+  /// Runtime lifecycle hooks keeping the load database current.  O(1) no-ops
+  /// for elements of collections not registered for load balancing.
+  void on_element_added(Collection& c, ArrayElementBase& e);
+  void on_element_removed(ArrayElementBase& e);
+
   /// Aborts any in-flight AtSync round (checkpoint-restore rollback): a PE
   /// failure mid-round loses that round's messages for good, so recovery
   /// resets to collecting and lets the replayed elements sync afresh.
   void reset_round_state();
+
+  /// Strategy input from the maintained database (O(dirty)); exposed for the
+  /// incremental-vs-rebuild oracle tests and benchmarks.
+  Stats snapshot_stats(int target_pes);
+  /// The old from-scratch gather (walk every touched PE, sort), kept as the
+  /// reference the database snapshot must match bit-for-bit.
+  Stats rebuild_stats(int target_pes) const;
+
+  const LoadDb::Counters& db_counters() const { return db_.counters(); }
 
   const std::vector<RoundInfo>& history() const { return history_; }
   int rounds_completed() const { return round_; }
@@ -95,11 +118,18 @@ class Manager {
   void run_distributed();
   void begin_migrations(const std::vector<Migration>& migs);
   void resume_all(double extra_delay);
-  Stats collect_stats(int target_pes) const;
+  Stats collect_stats(int target_pes);
   std::int64_t registered_total() const;
+  bool tracked(CollectionId col) const {
+    return static_cast<std::size_t>(col) < tracked_.size() && tracked_[static_cast<std::size_t>(col)];
+  }
+  const SpeedMap& current_speeds();
 
   Runtime& rt_;
   std::vector<CollectionId> cols_;
+  std::vector<char> tracked_;  ///< col id -> feeds the load database
+  LoadDb db_;
+  SpeedMap speeds_;  ///< scratch, refreshed from the machine each use
   std::unique_ptr<Strategy> strategy_;
   Advisor advisor_;
   int period_ = 0;

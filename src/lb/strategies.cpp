@@ -2,6 +2,18 @@
 // RotateLB/RandomLB for testing.  All strategies are speed-aware: predicted
 // completion of PE p is sum(work)/speed[p], so they remain correct under DVFS
 // and heterogeneous clouds.
+//
+// Every strategy has two equivalent paths (DESIGN.md §13):
+//  - a *rebuild* path: the original from-scratch algorithm, kept verbatim, used
+//    for hand-built Stats (aux.valid == false) and whenever a chare is hosted
+//    outside [0, npes) (shrink rounds, where the old clamping semantics apply);
+//  - an *indexed* path consuming the load database's maintained aggregates
+//    (per-PE completion sums, per-PE chare buckets, the work-order index).
+// The two paths must pick bit-identical migrations: same FP accumulation
+// order wherever a sum feeds a comparison, and the same tie-breaks (the old
+// max_element/min_element keep the first — i.e. lowest-PE — extremum, so the
+// indexed heaps order ties toward the smaller PE).  test_lb_incremental fuzzes
+// this equivalence.
 
 #include "lb/strategy.hpp"
 
@@ -16,9 +28,57 @@
 
 namespace charm::lb {
 
+void SpeedMap::set(int pe, double f) {
+  auto it = std::lower_bound(entries_.begin(), entries_.end(), pe,
+                             [](const std::pair<int, double>& e, int p) { return e.first < p; });
+  if (it != entries_.end() && it->first == pe) {
+    if (f == 1.0)
+      entries_.erase(it);
+    else
+      it->second = f;
+  } else if (f != 1.0) {
+    entries_.insert(it, {pe, f});
+  }
+}
+
+double SpeedMap::sum_first(int npes) const {
+  // Replays std::accumulate over the dense vector.  A run of k default
+  // entries adds 1.0 k times; when the accumulator holds an exact small
+  // integer every such step is exact, so the run collapses to one add.
+  double acc = 0.0;
+  int pe = 0;
+  auto add_default_run = [&acc](int k) {
+    while (k > 0) {
+      const double kd = static_cast<double>(k);
+      if (acc == std::floor(acc) && std::abs(acc) < 9.0e15 && acc + kd < 9.0e15) {
+        acc += kd;
+        return;
+      }
+      acc += 1.0;
+      --k;
+    }
+  };
+  for (const auto& [p, f] : entries_) {
+    if (p >= npes) break;
+    add_default_run(p - pe);
+    acc += f;
+    pe = p + 1;
+  }
+  add_default_run(npes - pe);
+  return acc;
+}
+
 namespace {
 
+bool indexed_ok(const Stats& s) {
+  // The indexed aggregates assume no hosting PE needs the old
+  // `min(c.pe, npes - 1)` clamp; shrink rounds take the rebuild path.
+  return s.aux.valid && s.npes >= 1 && s.aux.max_hosting_pe < s.npes;
+}
+
 std::vector<std::size_t> migratable_by_desc_work(const Stats& s) {
+  if (s.aux.valid)  // maintained (work desc, rank asc) index — same sequence
+    return {s.aux.desc_by_work.begin(), s.aux.desc_by_work.end()};
   std::vector<std::size_t> ids;
   ids.reserve(s.chares.size());
   for (std::size_t i = 0; i < s.chares.size(); ++i)
@@ -33,6 +93,14 @@ std::vector<std::size_t> migratable_by_desc_work(const Stats& s) {
 std::vector<double> base_completion(const Stats& s) {
   // Completion contributed by non-migratable chares (they stay put).
   std::vector<double> done(static_cast<std::size_t>(s.npes), 0.0);
+  if (indexed_ok(s)) {
+    // Per-PE sums maintained in bucket order; a PE's partial sums see exactly
+    // the same addend sequence as the interleaved loop below, so the scatter
+    // is bit-identical.
+    for (std::size_t k = 0; k < s.aux.pes.size(); ++k)
+      done[static_cast<std::size_t>(s.aux.pes[k])] = s.aux.done_nonmig[k];
+    return done;
+  }
   for (const ChareInfo& c : s.chares) {
     if (!c.migratable && c.pe < s.npes)
       done[static_cast<std::size_t>(c.pe)] += c.work / s.pe_speed[static_cast<std::size_t>(c.pe)];
@@ -94,7 +162,7 @@ class MinCompletionAssigner {
                         std::greater<>>
         heap;
   };
-  const std::vector<double>& speeds_;
+  const SpeedMap& speeds_;
   std::vector<double> done_;
   std::vector<Class> classes_;
 };
@@ -119,6 +187,14 @@ class RefineLB final : public Strategy {
   std::string name() const override { return "RefineLB"; }
 
   std::vector<Migration> assign(const Stats& s) override {
+    if (indexed_ok(s)) return assign_indexed(s);
+    return assign_rebuild(s);
+  }
+
+ private:
+  // Original from-scratch algorithm, kept verbatim as the reference the
+  // indexed path must match bit-for-bit (and as the shrink-round fallback).
+  std::vector<Migration> assign_rebuild(const Stats& s) {
     const auto n = static_cast<std::size_t>(s.npes);
     std::vector<double> done(n, 0.0);
     std::vector<int> target(s.chares.size());
@@ -132,7 +208,7 @@ class RefineLB final : public Strategy {
       if (c.migratable) on_pe[static_cast<std::size_t>(pe)].push_back(i);
       total_work += c.work;
     }
-    const double total_speed = std::accumulate(s.pe_speed.begin(), s.pe_speed.begin() + s.npes, 0.0);
+    const double total_speed = s.pe_speed.sum_first(s.npes);
     const double target_time = total_work / total_speed;
 
     for (int iter = 0; iter < 8 * s.npes; ++iter) {
@@ -170,7 +246,151 @@ class RefineLB final : public Strategy {
     return to_migrations(s, target);
   }
 
- private:
+  // Indexed path over the maintained aggregates: lazy min/max completion
+  // heaps instead of per-iteration O(P) extremum scans, and sorted per-PE
+  // bucket views (materialized only for PEs the loop actually touches)
+  // instead of linear fit scans + erase(find).
+  //
+  // Equivalence notes (the fuzz oracle pins all of these):
+  //  - done[] starts from the maintained per-PE sums, which accumulate each
+  //    PE's own chares in the same (canonical) order the rebuild loop visits
+  //    them, so every entry is bit-identical.
+  //  - the heaps break value-ties toward the smaller PE, matching
+  //    max_element/min_element returning the first extremum.
+  //  - a view is sorted by (work desc, arrival asc) where arrival is the
+  //    chare's position in the rebuild path's per-PE list (canonical rank for
+  //    initial members, a global counter for chares moved in later).  "Largest
+  //    fitting, first in list among ties" is then the first element of the
+  //    fitting suffix — found by partition_point, valid because the fit
+  //    predicate done + w/speed <= cap is monotone in w even in FP — and
+  //    "smallest, first in list among ties" is the first element of the
+  //    minimal-work tail block.
+  //  - the done[] update arithmetic is token-identical to the rebuild path.
+  std::vector<Migration> assign_indexed(const Stats& s) {
+    const auto n = static_cast<std::size_t>(s.npes);
+    std::vector<double> done(n, 0.0);
+    for (std::size_t k = 0; k < s.aux.pes.size(); ++k)
+      done[static_cast<std::size_t>(s.aux.pes[k])] = s.aux.done_all[k];
+    const double total_speed = s.pe_speed.sum_first(s.npes);
+    const double target_time = s.aux.total_work / total_speed;
+
+    struct Entry {
+      double work;
+      std::uint64_t arrival;
+      std::uint32_t rank;
+    };
+    auto before = [](const Entry& a, const Entry& b) {
+      if (a.work != b.work) return a.work > b.work;
+      return a.arrival < b.arrival;
+    };
+    // Per-PE sorted views, built on demand; extras hold chares moved onto a
+    // PE whose view is not materialized yet.
+    std::vector<std::vector<Entry>> view(n);
+    std::vector<std::vector<Entry>> extras(n);
+    std::vector<char> built(n, 0);
+    std::uint64_t arrival_counter = s.chares.size();
+    auto bucket_of = [&](int pe) -> std::pair<std::uint32_t, std::uint32_t> {
+      const auto it = std::lower_bound(s.aux.pes.begin(), s.aux.pes.end(), pe);
+      if (it == s.aux.pes.end() || *it != pe) return {0, 0};
+      const auto k = static_cast<std::size_t>(it - s.aux.pes.begin());
+      return {s.aux.bucket_off[k], s.aux.bucket_off[k + 1]};
+    };
+    auto ensure_view = [&](std::size_t pe) -> std::vector<Entry>& {
+      std::vector<Entry>& v = view[pe];
+      if (!built[pe]) {
+        built[pe] = 1;
+        const auto [b, e] = bucket_of(static_cast<int>(pe));
+        v.reserve((e - b) + extras[pe].size());
+        for (std::uint32_t k = b; k < e; ++k) {
+          const std::uint32_t r = s.aux.bucket_ranks[k];
+          if (s.chares[r].migratable) v.push_back({s.chares[r].work, r, r});
+        }
+        std::sort(v.begin(), v.end(), before);
+      }
+      if (!extras[pe].empty()) {
+        for (Entry& ex : extras[pe]) v.push_back(ex);
+        extras[pe].clear();
+        std::sort(v.begin(), v.end(), before);
+      }
+      return v;
+    };
+
+    // Lazy-deletion heaps keyed by completion; an entry is valid iff it
+    // matches the authoritative done[].  Ties order toward the smaller PE.
+    using HeapEntry = std::pair<double, int>;
+    auto max_less = [](const HeapEntry& a, const HeapEntry& b) {
+      if (a.first != b.first) return a.first < b.first;
+      return a.second > b.second;
+    };
+    auto min_less = [](const HeapEntry& a, const HeapEntry& b) {
+      if (a.first != b.first) return a.first > b.first;
+      return a.second > b.second;
+    };
+    std::vector<HeapEntry> seedv(n);
+    for (std::size_t pe = 0; pe < n; ++pe) seedv[pe] = {done[pe], static_cast<int>(pe)};
+    std::priority_queue<HeapEntry, std::vector<HeapEntry>, decltype(max_less)> maxq(
+        max_less, seedv);
+    std::priority_queue<HeapEntry, std::vector<HeapEntry>, decltype(min_less)> minq(
+        min_less, std::move(seedv));
+    auto top_of = [&done](auto& q) {
+      while (q.top().first != done[static_cast<std::size_t>(q.top().second)]) q.pop();
+      return static_cast<std::size_t>(q.top().second);
+    };
+
+    std::vector<std::pair<std::uint32_t, int>> moves;  // (rank, final target)
+    std::vector<std::uint32_t> final_slot(s.chares.size(), 0xffffffffu);
+    for (int iter = 0; iter < 8 * s.npes; ++iter) {
+      const std::size_t hot = top_of(maxq);
+      const std::size_t cold = top_of(minq);
+      if (done[hot] <= target_time * tol_) break;
+      std::vector<Entry>& hv = ensure_view(hot);
+      if (hv.empty()) break;  // nothing migratable on the hot PE
+      const double cap = target_time * tol_;
+      const double cold_speed = s.pe_speed[cold];
+      auto does_not_fit = [&](const Entry& e) { return !(done[cold] + e.work / cold_speed <= cap); };
+      auto it = std::partition_point(hv.begin(), hv.end(), does_not_fit);
+      if (it == hv.end()) {
+        // Nothing fits under the cap; move the smallest (first of the
+        // minimal-work tail block = earliest arrival among ties).
+        const double wmin = hv.back().work;
+        it = std::partition_point(hv.begin(), hv.end(),
+                                  [&](const Entry& e) { return e.work > wmin; });
+      }
+      const Entry picked = *it;
+      hv.erase(it);
+      const Entry moved{picked.work, arrival_counter++, picked.rank};
+      if (built[cold]) {
+        std::vector<Entry>& cv = ensure_view(cold);  // merge pending extras first
+        auto pos = std::partition_point(cv.begin(), cv.end(),
+                                        [&](const Entry& e) { return e.work >= moved.work; });
+        cv.insert(pos, moved);
+      } else {
+        extras[cold].push_back(moved);
+      }
+      done[hot] -= picked.work / s.pe_speed[hot];
+      done[cold] += picked.work / s.pe_speed[cold];
+      maxq.push({done[hot], static_cast<int>(hot)});
+      maxq.push({done[cold], static_cast<int>(cold)});
+      minq.push({done[hot], static_cast<int>(hot)});
+      minq.push({done[cold], static_cast<int>(cold)});
+      if (final_slot[picked.rank] == 0xffffffffu) {
+        final_slot[picked.rank] = static_cast<std::uint32_t>(moves.size());
+        moves.push_back({picked.rank, static_cast<int>(cold)});
+      } else {
+        moves[final_slot[picked.rank]].second = static_cast<int>(cold);
+      }
+    }
+
+    std::sort(moves.begin(), moves.end());
+    std::vector<Migration> out;
+    out.reserve(moves.size());
+    for (const auto& [rank, to] : moves) {
+      const ChareInfo& c = s.chares[rank];
+      if (to != c.pe) out.push_back(Migration{c.col, c.idx, c.pe, to});
+    }
+    return out;
+  }
+
   double tol_;
 };
 
@@ -197,10 +417,11 @@ class HybridLB final : public Strategy {
         group_done[static_cast<std::size_t>(group_of(std::min(c.pe, s.npes - 1)))] +=
             c.work / group_speed[static_cast<std::size_t>(group_of(std::min(c.pe, s.npes - 1)))];
 
+    const std::vector<std::size_t> order = migratable_by_desc_work(s);
     std::vector<int> chare_group(s.chares.size());
     for (std::size_t i = 0; i < s.chares.size(); ++i)
       chare_group[i] = group_of(std::min(s.chares[i].pe, s.npes - 1));
-    for (std::size_t i : migratable_by_desc_work(s)) {
+    for (std::size_t i : order) {
       int best = 0;
       double best_t = 0;
       for (int g = 0; g < ngroups; ++g) {
@@ -215,7 +436,11 @@ class HybridLB final : public Strategy {
       group_done[static_cast<std::size_t>(best)] = best_t;
     }
 
-    // Level 2: greedy within each group.
+    // Level 2: greedy within each group.  The scratch completion vector must
+    // cover every hosting PE (chares can sit beyond npes before a shrink).
+    std::size_t done_size = static_cast<std::size_t>(s.npes);
+    for (const ChareInfo& c : s.chares)
+      done_size = std::max(done_size, static_cast<std::size_t>(c.pe) + 1);
     std::vector<int> target(s.chares.size());
     for (std::size_t i = 0; i < s.chares.size(); ++i) target[i] = s.chares[i].pe;
     for (int g = 0; g < ngroups; ++g) {
@@ -223,13 +448,13 @@ class HybridLB final : public Strategy {
       for (int pe = g * per_group; pe < std::min((g + 1) * per_group, s.npes); ++pe)
         pes.push_back(pe);
       if (pes.empty()) continue;
-      std::vector<double> done(s.pe_speed.size(), 0.0);
+      std::vector<double> done(done_size, 0.0);
       for (const ChareInfo& c : s.chares)
         if (!c.migratable && group_of(std::min(c.pe, s.npes - 1)) == g)
           done[static_cast<std::size_t>(c.pe)] +=
               c.work / s.pe_speed[static_cast<std::size_t>(c.pe)];
       MinCompletionAssigner assigner(s, pes, done);
-      for (std::size_t i : migratable_by_desc_work(s))
+      for (std::size_t i : order)
         if (chare_group[i] == g) target[i] = assigner.place(s.chares[i].work);
     }
     return to_migrations(s, target);

@@ -7,6 +7,8 @@
 // correct under DVFS and heterogeneous-cloud frequency scaling (§III-C, §IV-F).
 
 #include <array>
+#include <cstdint>
+#include <initializer_list>
 #include <memory>
 #include <string>
 #include <vector>
@@ -25,10 +27,89 @@ struct ChareInfo {
   std::array<double, 3> coords{};  ///< spatial position (ORB)
 };
 
+/// Sparse per-PE frequency map with default 1.0.  Stores only PEs whose speed
+/// differs from 1.0, so a million-virtual-PE Stats costs O(DVFS'd PEs), not
+/// O(P) (DESIGN.md §12/§13).  Reads are bit-identical to the dense vector the
+/// strategies used to index: an absent PE is exactly 1.0.
+class SpeedMap {
+ public:
+  SpeedMap() = default;
+  SpeedMap(std::initializer_list<double> dense) { assign_dense(dense.begin(), dense.end()); }
+  SpeedMap(const std::vector<double>& dense) {  // NOLINT(google-explicit-constructor)
+    assign_dense(dense.begin(), dense.end());
+  }
+  SpeedMap& operator=(const std::vector<double>& dense) {
+    entries_.clear();
+    assign_dense(dense.begin(), dense.end());
+    return *this;
+  }
+  SpeedMap& operator=(std::initializer_list<double> dense) {
+    entries_.clear();
+    assign_dense(dense.begin(), dense.end());
+    return *this;
+  }
+
+  double operator[](std::size_t pe) const {
+    // Entries are sorted by PE and few (only non-unit speeds); a short scan
+    // beats binary search at typical sizes and is exact either way.
+    for (const auto& [p, f] : entries_) {
+      if (static_cast<std::size_t>(p) == pe) return f;
+      if (static_cast<std::size_t>(p) > pe) break;
+    }
+    return 1.0;
+  }
+
+  /// Records `pe`'s speed (1.0 erases the entry).
+  void set(int pe, double f);
+
+  /// Left-fold sum of speeds for PEs [0, npes) — bit-identical to
+  /// `std::accumulate` over the dense vector.  Runs of default 1.0 on an
+  /// integer-valued accumulator are shortcut (each +1.0 step is exact there);
+  /// otherwise the fold steps one PE at a time.
+  double sum_first(int npes) const;
+
+  bool operator==(const SpeedMap&) const = default;
+  const std::vector<std::pair<int, double>>& entries() const { return entries_; }
+
+ private:
+  template <class It>
+  void assign_dense(It first, It last) {
+    int pe = 0;
+    for (It it = first; it != last; ++it, ++pe)
+      if (*it != 1.0) entries_.emplace_back(pe, *it);
+  }
+
+  std::vector<std::pair<int, double>> entries_;  ///< (pe, speed != 1.0), pe ascending
+};
+
+/// Incrementally-maintained auxiliary indexes the load database attaches to a
+/// snapshot (DESIGN.md §13).  Value-copied with the Stats, so a strategy
+/// running after the modeled gather delay never references live DB storage.
+/// Hand-built Stats (tests, gossip replays) leave `valid` false and the
+/// strategies fall back to their from-scratch rebuild paths — which are the
+/// pre-database algorithms kept verbatim, so both paths decide identically.
+struct StatsAux {
+  bool valid = false;
+  double total_work = 0;       ///< canonical-order left-fold over all chares
+  int max_hosting_pe = -1;     ///< largest PE hosting a chare (reconfig guard)
+  /// Database snapshot generation (internal).  LoadDb::recycle uses it to
+  /// prove a returned buffer is last round's snapshot, in which case the next
+  /// snapshot patches only the chares that changed instead of re-copying all
+  /// of them.  Zero for hand-built Stats — those always take the full copy.
+  std::uint64_t db_gen = 0;
+  std::vector<int> pes;        ///< hosting PEs, ascending
+  std::vector<double> done_all;     ///< per hosting PE: sum(work/speed), bucket order
+  std::vector<double> done_nonmig;  ///< same, non-migratable chares only
+  std::vector<std::uint32_t> bucket_off;    ///< CSR offsets into bucket_ranks (pes.size()+1)
+  std::vector<std::uint32_t> bucket_ranks;  ///< chare ranks grouped by PE, canonical within
+  std::vector<std::uint32_t> desc_by_work;  ///< migratable ranks, (work desc, rank asc)
+};
+
 struct Stats {
-  int npes = 0;                   ///< active PEs (assignment targets are 0..npes-1)
-  std::vector<double> pe_speed;   ///< frequency scale per PE
-  std::vector<ChareInfo> chares;
+  int npes = 0;        ///< active PEs (assignment targets are 0..npes-1)
+  SpeedMap pe_speed;   ///< frequency scale per PE (sparse, default 1.0)
+  std::vector<ChareInfo> chares;  ///< canonical (col, idx) order
+  StatsAux aux;        ///< maintained indexes; invalid for hand-built Stats
 };
 
 struct Migration {
@@ -47,11 +128,14 @@ class Strategy {
 
 /// Sort chares by descending work; assign each to the PE with the earliest
 /// predicted completion time (work/speed).  O(n log n), ignores current
-/// placement (may migrate heavily).
+/// placement (may migrate heavily).  With a valid aux block the maintained
+/// work-order index replaces the sort.
 std::unique_ptr<Strategy> make_greedy();
 
 /// Moves chares off overloaded PEs onto underloaded ones until the predicted
-/// max is within `tolerance` of the mean; minimizes migrations.
+/// max is within `tolerance` of the mean; minimizes migrations.  With a valid
+/// aux block a round costs O(moved log P) over indexed completion heaps
+/// instead of O(8 P · objects) full scans.
 std::unique_ptr<Strategy> make_refine(double tolerance = 1.05);
 
 /// Two-level hierarchical scheme (HybridLB in the paper): PEs are split into

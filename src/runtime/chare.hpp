@@ -89,6 +89,10 @@ class ArrayElementBase {
   double lb_round_load_ = 0;     ///< snapshot taken at AtSync (strategy input)
   std::uint64_t redux_seq_ = 0;  ///< this element's next reduction number
   std::uint32_t epoch_ = 0;      ///< migration epoch (location-protocol ordering)
+  /// Slot handle in the LB manager's load database.  Transient and
+  /// PE-local by design: deliberately NOT pup'd (a migrated element gets a
+  /// fresh slot on arrival), so wire bytes and virtual time are unchanged.
+  std::uint32_t lb_slot_ = 0xffffffffu;
 };
 
 template <class Self, class Ix>

@@ -85,6 +85,7 @@ void Runtime::install_element(CollectionId col, ObjIndex idx,
   c.local(pe).elems[idx] = std::move(obj);
 
   if (migrated) raw->on_migrated();
+  lb_->on_element_added(c, *raw);
 
   const int h = home_pe(idx);
   if (h == pe) {
@@ -104,6 +105,7 @@ void Runtime::perform_migration(CollectionId col, ObjIndex idx, int to_pe) {
     throw std::logic_error("perform_migration: element not on the executing PE");
   if (to_pe == from) return;
 
+  lb_->on_element_removed(*elem);  // departure: the arrival gets a fresh slot
   elem->epoch_ += 1;
   const std::uint32_t epoch = elem->epoch_;
 
@@ -177,6 +179,7 @@ void Runtime::destroy_local(CollectionId col, ObjIndex idx, int pe) {
   auto& m = hosting->elems;
   auto it = m.find(idx);
   if (it == m.end()) return;
+  lb_->on_element_removed(*it->second);
   m.erase(it);
   --c.total_elements;
   const int h = home_pe(idx);

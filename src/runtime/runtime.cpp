@@ -55,8 +55,10 @@ void Runtime::seed_element(CollectionId col, ObjIndex idx,
   obj->epoch_ = 1;
   obj->redux_seq_ = std::max(obj->redux_seq_, c.redux_floor);
   if (c.is_group) obj->migratable_ = false;
+  ArrayElementBase* raw = obj.get();
   c.local(pe).elems[idx] = std::move(obj);
   ++c.total_elements;
+  lb_->on_element_added(c, *raw);
   if (!c.is_group) {
     HomeRecord& r = c.local(home_pe(idx)).home[idx];
     r.location = pe;
@@ -445,6 +447,7 @@ std::unique_ptr<ArrayElementBase> Runtime::extract_local(CollectionId col, ObjIn
   auto it = m.find(idx);
   if (it == m.end()) return nullptr;
   std::unique_ptr<ArrayElementBase> obj = std::move(it->second);
+  lb_->on_element_removed(*obj);
   m.erase(it);
   --c.total_elements;
   return obj;

@@ -94,6 +94,14 @@ class Machine {
   /// PEs whose state has materialized (first-touch census); untouched PEs
   /// cost zero bytes beyond one page pointer per 64 slots.
   std::size_t touched_pes() const { return pes_.touched(); }
+  /// Visits materialized PEs in ascending order as (pe, const Pe&); untouched
+  /// PEs hold default state (freq 1.0), so touched-only iteration suffices to
+  /// collect every non-default speed without a dense O(P) walk.
+  template <class F>
+  void for_each_touched_pe(F&& f) const {
+    pes_.for_each_touched(
+        [&](std::size_t pe, const Pe& p) { f(static_cast<int>(pe), p); });
+  }
   /// Host bytes resident in per-PE state (PE pages + ready-queue storage).
   std::size_t pe_state_bytes() const;
   /// Host bytes resident in the global event list (heap + slot arena).
